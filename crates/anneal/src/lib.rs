@@ -1,0 +1,51 @@
+//! Generic simulated-annealing engine.
+//!
+//! The multi-placement structure generator of Badaoui & Vemuri (DATE 2005)
+//! is "a nested simulated annealing style algorithm": the outer *Placement
+//! Explorer* anneals over block coordinates, and the inner *Block
+//! Dimensions-Interval Optimizer* anneals over block dimensions. The
+//! optimization-based baseline placer (KOAN/ANAGRAM class) is a third,
+//! flat annealer. All three share this engine.
+//!
+//! The engine is deliberately small and deterministic-by-seed: a [`Problem`]
+//! provides the state type, the energy (cost) function and a neighbour
+//! generator; [`Annealer`] drives a Metropolis acceptance loop under a
+//! [`Schedule`], collecting the [`AnnealStats`] the paper's algorithm needs
+//! (the BDIO must report the *average* and *best* cost observed during its
+//! search — Eq. 6 shrinks validity intervals by the ratio of the two).
+//!
+//! # Example
+//!
+//! ```
+//! use mps_anneal::{Annealer, AnnealerConfig, Problem};
+//! use rand::rngs::StdRng;
+//! use rand::RngExt;
+//!
+//! /// Minimize x^2 over integers by random walk.
+//! struct Quadratic;
+//! impl Problem for Quadratic {
+//!     type State = i64;
+//!     fn initial(&self, _rng: &mut StdRng) -> i64 { 100 }
+//!     fn energy(&self, s: &i64) -> f64 { (*s as f64) * (*s as f64) }
+//!     fn neighbor(&self, s: &i64, rng: &mut StdRng) -> i64 {
+//!         s + rng.random_range(-3..=3)
+//!     }
+//! }
+//!
+//! let config = AnnealerConfig::builder().iterations(2_000).seed(42).build();
+//! let outcome = Annealer::new(config).run(&Quadratic);
+//! assert!(outcome.best_energy < 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annealer;
+mod schedule;
+mod stats;
+
+pub use annealer::{
+    metropolis, AnnealOutcome, Annealer, AnnealerConfig, AnnealerConfigBuilder, Problem,
+};
+pub use schedule::{AdaptiveSchedule, GeometricSchedule, Schedule};
+pub use stats::AnnealStats;

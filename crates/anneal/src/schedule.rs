@@ -1,0 +1,178 @@
+//! Cooling schedules.
+
+/// A cooling schedule maps an iteration index to a temperature.
+///
+/// Temperatures must be non-negative and (weakly) decreasing in practice,
+/// though the trait does not enforce monotonicity — adaptive schedules may
+/// reheat.
+pub trait Schedule {
+    /// Temperature at iteration `iteration` out of `total` iterations.
+    fn temperature(&self, iteration: usize, total: usize) -> f64;
+}
+
+/// Classic geometric cooling: `T(k) = t0 * alpha^k`, floored at `t_min`.
+///
+/// This is the schedule both levels of the paper's nested annealer use by
+/// default: simple, predictable, and adequate for the ≤25-module circuits
+/// the method targets.
+///
+/// # Example
+///
+/// ```
+/// use mps_anneal::{GeometricSchedule, Schedule};
+/// let s = GeometricSchedule::new(100.0, 0.95, 0.01);
+/// assert!(s.temperature(0, 100) > s.temperature(50, 100));
+/// assert!(s.temperature(10_000, 100) >= 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricSchedule {
+    t0: f64,
+    alpha: f64,
+    t_min: f64,
+}
+
+impl GeometricSchedule {
+    /// Creates a geometric schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0 <= 0`, `alpha` is outside `(0, 1)`, or `t_min < 0`.
+    #[must_use]
+    pub fn new(t0: f64, alpha: f64, t_min: f64) -> Self {
+        assert!(t0 > 0.0, "initial temperature must be positive");
+        assert!(0.0 < alpha && alpha < 1.0, "alpha must be in (0, 1)");
+        assert!(t_min >= 0.0, "minimum temperature must be non-negative");
+        Self { t0, alpha, t_min }
+    }
+
+    /// Initial temperature.
+    #[must_use]
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// Cooling factor per iteration.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Default for GeometricSchedule {
+    /// A schedule that works well for normalized placement costs:
+    /// `t0 = 1.0`, cooling to `1e-4` over a few thousand iterations.
+    fn default() -> Self {
+        Self::new(1.0, 0.998, 1e-4)
+    }
+}
+
+impl Schedule for GeometricSchedule {
+    fn temperature(&self, iteration: usize, _total: usize) -> f64 {
+        (self.t0 * self.alpha.powi(iteration as i32)).max(self.t_min)
+    }
+}
+
+/// Span-normalized exponential cooling: regardless of the iteration budget,
+/// the temperature decays from `t0` to `t_end` over exactly the configured
+/// run length.
+///
+/// Useful when the same annealer is run with wildly different iteration
+/// budgets (the paper's generation-time experiments sweep budgets), so the
+/// acceptance profile stays comparable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSchedule {
+    t0: f64,
+    t_end: f64,
+}
+
+impl AdaptiveSchedule {
+    /// Creates a schedule decaying from `t0` to `t_end` over the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0 <= 0`, `t_end <= 0`, or `t_end > t0`.
+    #[must_use]
+    pub fn new(t0: f64, t_end: f64) -> Self {
+        assert!(t0 > 0.0 && t_end > 0.0, "temperatures must be positive");
+        assert!(t_end <= t0, "end temperature must not exceed start");
+        Self { t0, t_end }
+    }
+}
+
+impl Default for AdaptiveSchedule {
+    fn default() -> Self {
+        Self::new(1.0, 1e-4)
+    }
+}
+
+impl Schedule for AdaptiveSchedule {
+    fn temperature(&self, iteration: usize, total: usize) -> f64 {
+        if total <= 1 {
+            return self.t_end;
+        }
+        let frac = (iteration as f64 / (total - 1) as f64).min(1.0);
+        self.t0 * (self.t_end / self.t0).powf(frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_decays_and_floors() {
+        let s = GeometricSchedule::new(10.0, 0.9, 0.5);
+        assert_eq!(s.temperature(0, 100), 10.0);
+        assert!((s.temperature(1, 100) - 9.0).abs() < 1e-12);
+        assert!(s.temperature(2, 100) < s.temperature(1, 100));
+        assert_eq!(s.temperature(1_000, 100), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1)")]
+    fn geometric_rejects_bad_alpha() {
+        let _ = GeometricSchedule::new(1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial temperature must be positive")]
+    fn geometric_rejects_bad_t0() {
+        let _ = GeometricSchedule::new(0.0, 0.5, 0.0);
+    }
+
+    #[test]
+    fn adaptive_hits_endpoints() {
+        let s = AdaptiveSchedule::new(8.0, 0.125);
+        assert!((s.temperature(0, 101) - 8.0).abs() < 1e-9);
+        assert!((s.temperature(100, 101) - 0.125).abs() < 1e-9);
+        // Midpoint of a geometric interpolation is the geometric mean.
+        assert!((s.temperature(50, 101) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_degenerate_run_lengths() {
+        let s = AdaptiveSchedule::new(2.0, 0.5);
+        assert_eq!(s.temperature(0, 0), 0.5);
+        assert_eq!(s.temperature(0, 1), 0.5);
+    }
+
+    #[test]
+    fn adaptive_clamps_past_end() {
+        let s = AdaptiveSchedule::new(2.0, 0.5);
+        assert!((s.temperature(500, 101) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "end temperature must not exceed start")]
+    fn adaptive_rejects_inverted() {
+        let _ = AdaptiveSchedule::new(0.5, 2.0);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let g = GeometricSchedule::default();
+        assert!(g.temperature(0, 10) > g.temperature(5_000, 10));
+        let a = AdaptiveSchedule::default();
+        assert!(a.temperature(0, 100) > a.temperature(99, 100));
+    }
+}

@@ -1,0 +1,101 @@
+//! Statistics collected during an annealing run.
+
+/// Counters and cost aggregates from one annealing run.
+///
+/// The paper's BDIO must hand back to the Placement Explorer both the *best*
+/// cost attained and the *average* cost "induced by the various wire lengths
+/// and areas encountered during the search" (§3.2) — the average is the
+/// explorer's own cost signal and the `average/best` ratio drives the
+/// Eq.-6 interval shrinking. These aggregates are accumulated here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealStats {
+    /// Total proposals evaluated.
+    pub evaluated: usize,
+    /// Proposals accepted (including uphill Metropolis acceptances).
+    pub accepted: usize,
+    /// Accepted moves that increased energy.
+    pub uphill_accepted: usize,
+    /// Best (lowest) energy observed.
+    pub best_energy: f64,
+    /// Mean energy over every evaluated proposal.
+    pub mean_energy: f64,
+    /// Temperature at the final iteration.
+    pub final_temperature: f64,
+}
+
+impl AnnealStats {
+    /// Fraction of proposals accepted, in `[0, 1]`; `0` for an empty run.
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.evaluated as f64
+        }
+    }
+
+    /// `mean_energy / best_energy` — the ratio the paper's Eq. 6 uses to
+    /// shrink validity intervals. Defined as 1 when the best energy is 0
+    /// (a perfect placement leaves nothing to shrink toward).
+    #[must_use]
+    pub fn average_to_best_ratio(&self) -> f64 {
+        if self.best_energy <= f64::EPSILON {
+            1.0
+        } else {
+            self.mean_energy / self.best_energy
+        }
+    }
+}
+
+impl Default for AnnealStats {
+    fn default() -> Self {
+        Self {
+            evaluated: 0,
+            accepted: 0,
+            uphill_accepted: 0,
+            best_energy: f64::INFINITY,
+            mean_energy: f64::INFINITY,
+            final_temperature: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_rate_handles_empty_run() {
+        assert_eq!(AnnealStats::default().acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn acceptance_rate_basic() {
+        let s = AnnealStats {
+            evaluated: 200,
+            accepted: 50,
+            ..AnnealStats::default()
+        };
+        assert!((s.acceptance_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_degenerate_best_is_one() {
+        let s = AnnealStats {
+            best_energy: 0.0,
+            mean_energy: 5.0,
+            ..AnnealStats::default()
+        };
+        assert_eq!(s.average_to_best_ratio(), 1.0);
+    }
+
+    #[test]
+    fn ratio_is_mean_over_best() {
+        let s = AnnealStats {
+            best_energy: 2.0,
+            mean_energy: 5.0,
+            ..AnnealStats::default()
+        };
+        assert!((s.average_to_best_ratio() - 2.5).abs() < 1e-12);
+    }
+}

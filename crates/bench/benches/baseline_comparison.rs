@@ -1,0 +1,65 @@
+//! Ablation A1 (the paper's §1 motivation): per-query placement cost of
+//! the three method classes on the two-stage opamp —
+//!
+//! * multi-placement structure instantiation (this paper),
+//! * fixed template instantiation (BALLISTIC/MOGLAN class),
+//! * flat simulated-annealing placement (KOAN/ANAGRAM class).
+//!
+//! The shape to verify: MPS within a small factor of the template, both
+//! orders of magnitude faster than the flat SA run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mps_bench::{random_dims, scaled_config};
+use mps_core::MpsGenerator;
+use mps_netlist::benchmarks;
+use mps_placer::{SaPlacer, SaPlacerConfig, Template};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_baselines(c: &mut Criterion) {
+    let circuit = benchmarks::two_stage_opamp();
+    let mps = MpsGenerator::new(&circuit, scaled_config(&circuit, 0.5, 21))
+        .generate()
+        .expect("valid circuit");
+    let template = Template::expert_default(&circuit, 6);
+
+    let mut group = c.benchmark_group("per_query_placement");
+    let mut rng = StdRng::seed_from_u64(3);
+    group.bench_function("mps_instantiate", |b| {
+        b.iter_batched(
+            || random_dims(&circuit, &mut rng),
+            |dims| black_box(mps.instantiate_or_fallback(&dims)),
+            BatchSize::SmallInput,
+        );
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    group.bench_function("template_instantiate", |b| {
+        b.iter_batched(
+            || random_dims(&circuit, &mut rng),
+            |dims| black_box(template.instantiate(&dims)),
+            BatchSize::SmallInput,
+        );
+    });
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+    let sa = SaPlacer::new(&circuit, SaPlacerConfig { iterations: 5_000, ..Default::default() });
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut seed = 0u64;
+    group.bench_function("flat_sa_place", |b| {
+        b.iter_batched(
+            || {
+                seed += 1;
+                (random_dims(&circuit, &mut rng), seed)
+            },
+            |(dims, s)| black_box(sa.place(&dims, s)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 2, `CPU Generation Time` column: one-time generation cost of the
+//! multi-placement structure, per benchmark circuit (reduced budget so the
+//! bench suite stays runnable; the `table2` binary measures the full
+//! budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode};
+use mps_bench::scaled_config;
+use mps_core::MpsGenerator;
+use mps_netlist::benchmarks;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group
+        .sample_size(10)
+        .sampling_mode(SamplingMode::Flat)
+        .measurement_time(Duration::from_secs(8));
+    // The three paper size classes: small (4), medium (8), large (21).
+    for name in ["circ01", "circ08", "tso-cascode"] {
+        let bm = benchmarks::by_name(name).expect("known benchmark");
+        let circuit = bm.circuit.clone();
+        let config = scaled_config(&circuit, 0.15, 3);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mps = MpsGenerator::new(&circuit, config.clone())
+                    .generate()
+                    .expect("valid circuit");
+                black_box(mps.placement_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

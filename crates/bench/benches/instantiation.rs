@@ -1,0 +1,36 @@
+//! Table 2, `Instantiation` column: time to instantiate one placement
+//! from a pre-generated multi-placement structure, per benchmark circuit.
+//!
+//! The paper reports 0.07–0.15 s on a 2005 SUN Blade 1000; the shape to
+//! verify is that instantiation is orders of magnitude below a per-query
+//! placement run and grows only mildly with circuit size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mps_bench::{random_dims, scaled_config};
+use mps_core::MpsGenerator;
+use mps_netlist::benchmarks;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_instantiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instantiation");
+    for bm in benchmarks::all() {
+        let circuit = bm.circuit.clone();
+        let mps = MpsGenerator::new(&circuit, scaled_config(&circuit, 0.4, 9))
+            .generate()
+            .expect("valid circuit");
+        let mut rng = StdRng::seed_from_u64(7);
+        group.bench_function(BenchmarkId::from_parameter(bm.name), |b| {
+            b.iter_batched(
+                || random_dims(&circuit, &mut rng),
+                |dims| black_box(mps.instantiate_or_fallback(black_box(&dims))),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_instantiation);
+criterion_main!(benches);

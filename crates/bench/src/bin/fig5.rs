@@ -1,0 +1,54 @@
+//! Regenerates Fig. 5: two different floorplan instantiations of the
+//! two-stage opamp from one multi-placement structure (a, b) and the fixed
+//! template-based instantiation (c). SVGs are written to `out/`.
+
+use mps_bench::{effort_from_args, floorplan_svg, scaled_config, write_artifact};
+use mps_core::MpsGenerator;
+use mps_netlist::benchmarks;
+use mps_placer::Template;
+
+fn main() {
+    let circuit = benchmarks::two_stage_opamp();
+    let config = scaled_config(&circuit, effort_from_args(), 55);
+    let mps = MpsGenerator::new(&circuit, config)
+        .generate()
+        .expect("benchmark circuit is valid");
+    eprintln!("structure holds {} placements", mps.placement_count());
+
+    // Pick two stored placements with genuinely different arrangements and
+    // instantiate each at its own best dimensions (two points of the sizing
+    // space the synthesis loop could propose).
+    let mut entries: Vec<_> = mps.iter().collect();
+    entries.sort_by(|a, b| a.1.best_cost.total_cmp(&b.1.best_cost));
+    let Some(&(id_a, first)) = entries.first() else {
+        eprintln!("empty structure; nothing to draw");
+        return;
+    };
+    let different = entries
+        .iter()
+        .find(|(id, e)| *id != id_a && e.placement != first.placement);
+    let (id_b, second) = different.copied().unwrap_or((id_a, first));
+
+    for (tag, entry) in [("a", first), ("b", second)] {
+        let dims = entry.best_dims.clone();
+        let placement = mps
+            .instantiate(&dims)
+            .expect("best dims lie inside the entry's own region");
+        assert!(placement.is_legal(&dims, None));
+        let path = write_artifact(
+            &format!("fig5_{tag}_mps.svg"),
+            &floorplan_svg(&circuit, &placement, &dims),
+        );
+        println!("Fig 5.{tag}: MPS instantiation ({:?}) -> {}", if tag == "a" { id_a } else { id_b }, path.display());
+    }
+
+    // Fig 5.c: the fixed expert template at the same sizes as 5.a.
+    let template = Template::expert_default(&circuit, 6);
+    let dims = first.best_dims.clone();
+    let placement = template.instantiate(&dims);
+    let path = write_artifact(
+        "fig5_c_template.svg",
+        &floorplan_svg(&circuit, &placement, &dims),
+    );
+    println!("Fig 5.c: template instantiation -> {}", path.display());
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 7: an optimized floorplan instantiation for the
+//! 21-module `tso-cascode` benchmark. SVG written to `out/`.
+
+use mps_bench::{effort_from_args, floorplan_svg, scaled_config, write_artifact};
+use mps_core::MpsGenerator;
+use mps_netlist::benchmarks;
+
+fn main() {
+    let circuit = benchmarks::tso_cascode();
+    let config = scaled_config(&circuit, effort_from_args(), 77);
+    let mps = MpsGenerator::new(&circuit, config)
+        .generate()
+        .expect("benchmark circuit is valid");
+    eprintln!("structure holds {} placements", mps.placement_count());
+
+    // Draw the best stored placement at its best dimensions.
+    let best = mps
+        .iter()
+        .min_by(|a, b| a.1.best_cost.total_cmp(&b.1.best_cost));
+    let (dims, placement) = match best {
+        Some((_, entry)) => (entry.best_dims.clone(), entry.placement.clone()),
+        None => {
+            let dims = circuit.min_dims();
+            (dims.clone(), mps.instantiate_or_fallback(&dims))
+        }
+    };
+    assert!(placement.is_legal(&dims, None));
+    let path = write_artifact("fig7_tso_cascode.svg", &floorplan_svg(&circuit, &placement, &dims));
+    println!(
+        "Fig 7: tso-cascode instantiation ({} blocks) -> {}",
+        circuit.block_count(),
+        path.display()
+    );
+}

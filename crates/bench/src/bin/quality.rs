@@ -1,0 +1,107 @@
+//! Ablation A2 (implied by §1 and Fig. 2): placement quality and speed of
+//! the multi-placement structure versus the two classes it aims to
+//! combine — the fixed template (fast, inflexible) and the per-query flat
+//! SA placer (high quality, slow).
+//!
+//! For each benchmark, a stream of random sizing queries is answered by
+//! all three methods; mean cost and mean per-query time are reported. The
+//! shape to verify: MPS time ≈ template time ≪ SA time, and MPS cost
+//! between SA cost and template cost (closer to SA).
+
+use mps_bench::{effort_from_args, fmt_duration, markdown_table, random_dims, scaled_config};
+use mps_core::MpsGenerator;
+use mps_netlist::benchmarks;
+use mps_placer::{CostCalculator, SaPlacer, SaPlacerConfig, Template};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let effort = effort_from_args();
+    let queries = 8;
+    let mut rows = Vec::new();
+    for bm in benchmarks::all() {
+        let circuit = &bm.circuit;
+        let calc = CostCalculator::new(circuit);
+        let mps = MpsGenerator::new(circuit, scaled_config(circuit, effort, 11))
+            .generate()
+            .expect("valid circuit");
+        let template = Template::expert_default(circuit, 6);
+        let sa = SaPlacer::new(
+            circuit,
+            SaPlacerConfig {
+                iterations: (4_000.0 * effort) as usize,
+                ..Default::default()
+            },
+        );
+
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut cost = [0.0f64; 4]; // mps, mps+repack, template, sa
+        let mut time = [Duration::ZERO; 4];
+        for q in 0..queries {
+            let dims = random_dims(circuit, &mut rng);
+
+            let t = Instant::now();
+            let p_mps = mps.instantiate_or_fallback(&dims);
+            time[0] += t.elapsed();
+            cost[0] += calc.cost(&p_mps, &dims);
+
+            let t = Instant::now();
+            let p_rp = mps.instantiate_compacted_or_fallback(&dims);
+            time[3] += t.elapsed();
+            cost[3] += calc.cost(&p_rp, &dims);
+
+            let t = Instant::now();
+            let p_t = template.instantiate(&dims);
+            time[1] += t.elapsed();
+            cost[1] += calc.cost(&p_t, &dims);
+
+            let t = Instant::now();
+            let p_sa = sa.place(&dims, q as u64).placement;
+            time[2] += t.elapsed();
+            cost[2] += calc.cost(&p_sa, &dims);
+        }
+        let qf = queries as f64;
+        eprintln!(
+            "{:<18} mps {:>9.0} / {:<9} repack {:>9.0} / {:<9} template {:>9.0} / {:<9} sa {:>9.0} / {}",
+            bm.name,
+            cost[0] / qf,
+            fmt_duration(time[0] / queries),
+            cost[3] / qf,
+            fmt_duration(time[3] / queries),
+            cost[1] / qf,
+            fmt_duration(time[1] / queries),
+            cost[2] / qf,
+            fmt_duration(time[2] / queries),
+        );
+        rows.push(vec![
+            bm.name.to_owned(),
+            format!("{:.0}", cost[0] / qf),
+            fmt_duration(time[0] / queries),
+            format!("{:.0}", cost[3] / qf),
+            fmt_duration(time[3] / queries),
+            format!("{:.0}", cost[1] / qf),
+            fmt_duration(time[1] / queries),
+            format!("{:.0}", cost[2] / qf),
+            fmt_duration(time[2] / queries),
+        ]);
+    }
+    println!("\nQuality/speed comparison over {queries} random sizing queries per circuit");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Circuit",
+                "MPS cost",
+                "MPS time",
+                "MPS+repack cost",
+                "MPS+repack time",
+                "Template cost",
+                "Template time",
+                "Flat-SA cost",
+                "Flat-SA time"
+            ],
+            &rows
+        )
+    );
+}

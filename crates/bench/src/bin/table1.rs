@@ -1,0 +1,20 @@
+//! Regenerates Table 1: the benchmark suite statistics.
+
+use mps_bench::markdown_table;
+use mps_netlist::benchmarks;
+
+fn main() {
+    let rows: Vec<Vec<String>> = benchmarks::table1()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name,
+                r.blocks.to_string(),
+                r.nets.to_string(),
+                r.terminals.to_string(),
+            ]
+        })
+        .collect();
+    println!("Table 1: Test Benchmarks");
+    println!("{}", markdown_table(&["Circuit", "Blocks", "Nets", "Terminals"], &rows));
+}

@@ -1,0 +1,113 @@
+//! Stored placements: the elements of the set Π.
+
+use mps_geom::{Coord, DimsBox};
+use mps_placer::Placement;
+use std::fmt;
+
+/// Index of a placement inside a [`crate::MultiPlacementStructure`] — the
+/// numbers stored in the `Arr(i, n)` arrays of Fig. 3.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlacementId(pub u32);
+
+impl PlacementId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PlacementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for PlacementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// One placement `p_j` of Eq. 2: fixed block coordinates plus the
+/// `(w_start, w_end, h_start, h_end)` validity box, annotated with the
+/// costs the BDIO measured.
+///
+/// The validity box is the region of dimension space over which *this* is
+/// the placement the structure returns. The generation algorithm maintains
+/// two invariants: boxes of live entries are pairwise disjoint (Eq. 5), and
+/// the placement is overlap-free inside the floorplan with every block at
+/// its box's upper corner — hence everywhere in the box.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StoredPlacement {
+    /// Block coordinates on the floorplan.
+    pub placement: Placement,
+    /// Validity region in dimension space.
+    pub dims_box: DimsBox,
+    /// Average cost the BDIO observed while searching the box — the
+    /// explorer's cost signal and the Resolve-Overlaps tiebreaker.
+    pub avg_cost: f64,
+    /// Best cost the BDIO attained.
+    pub best_cost: f64,
+    /// The dimension vector achieving [`StoredPlacement::best_cost`].
+    pub best_dims: Vec<(Coord, Coord)>,
+}
+
+impl StoredPlacement {
+    /// Whether `dims` lies inside the validity box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len()` differs from the box's block count.
+    #[must_use]
+    pub fn covers(&self, dims: &[(Coord, Coord)]) -> bool {
+        self.dims_box.contains(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_geom::{BlockRanges, Interval, Point};
+
+    fn sample() -> StoredPlacement {
+        StoredPlacement {
+            placement: Placement::new(vec![Point::new(0, 0)]),
+            dims_box: DimsBox::new(vec![BlockRanges::new(
+                Interval::new(10, 20),
+                Interval::new(5, 15),
+            )]),
+            avg_cost: 12.0,
+            best_cost: 9.5,
+            best_dims: vec![(15, 10)],
+        }
+    }
+
+    #[test]
+    fn covers_respects_box() {
+        let sp = sample();
+        assert!(sp.covers(&[(15, 10)]));
+        assert!(sp.covers(&[(10, 5)]));
+        assert!(!sp.covers(&[(21, 10)]));
+        assert!(!sp.covers(&[(15, 4)]));
+    }
+
+    #[test]
+    fn id_formatting() {
+        let id = PlacementId(7);
+        assert_eq!(format!("{id}"), "P7");
+        assert_eq!(format!("{id:?}"), "P7");
+        assert_eq!(id.index(), 7);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_roundtrip() {
+        let sp = sample();
+        let json = serde_json::to_string(&sp).unwrap();
+        let back: StoredPlacement = serde_json::from_str(&json).unwrap();
+        assert_eq!(sp, back);
+    }
+}

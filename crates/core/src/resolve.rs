@@ -1,0 +1,338 @@
+//! Resolve Overlaps (§3.1.3).
+//!
+//! "In order to ensure that equation 5 holds true, there should be no
+//! overlap between two placements' intervals of block dimensions. …
+//! The latter searches for the smallest dimension (row) in which the two
+//! placements are overlapping. The values of the average cost of each of
+//! the placement are then compared. The placement with a higher average
+//! cost is chosen to be shrunk in the found dimension. … If the
+//! overlapping interval to be shrunk contains completely the other
+//! placement's interval from the start and the end sides, it is forked
+//! into two placements, each assuming new shrunk intervals on each side of
+//! the un-changed placement."
+
+use crate::{MultiPlacementStructure, PlacementId, StoredPlacement};
+use mps_geom::DimsBox;
+
+/// Outcome counters of one resolution pass (for generation reporting and
+/// the ablation study).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ResolveStats {
+    /// Times a stored placement was shrunk.
+    pub stored_shrunk: usize,
+    /// Times a stored placement was forked into two.
+    pub stored_forked: usize,
+    /// Stored placements annihilated (box fully covered by the winner).
+    pub stored_annihilated: usize,
+    /// Times the incoming placement's box was shrunk.
+    pub new_shrunk: usize,
+    /// Times the incoming box was forked.
+    pub new_forked: usize,
+}
+
+/// Makes `new_box` disjoint from every stored validity box, shrinking
+/// whichever side has the higher average cost along the dimension of
+/// smallest overlap. Returns the surviving pieces of `new_box` (empty when
+/// the new placement lost everywhere) plus resolution counters.
+///
+/// When `fork_on_containment` is `false` (ablation A3), a cut that would
+/// fork a box instead keeps only the larger remaining piece.
+pub(crate) fn resolve_overlaps(
+    mps: &mut MultiPlacementStructure,
+    new_box: DimsBox,
+    new_avg_cost: f64,
+    fork_on_containment: bool,
+) -> (Vec<DimsBox>, ResolveStats) {
+    let mut stats = ResolveStats::default();
+    let mut pending = vec![new_box];
+    let mut survivors = Vec::new();
+
+    'next_pending: while let Some(piece) = pending.pop() {
+        let overlaps = mps.overlapping_ids(&piece);
+        let Some(&victim_candidate) = overlaps.first() else {
+            survivors.push(piece);
+            continue;
+        };
+        // Resolve against one stored placement at a time, as in the
+        // paper's pseudo-code; the piece re-enters the work list until it
+        // is clean.
+        let stored = mps
+            .entry(victim_candidate)
+            .expect("overlapping_ids returns live ids");
+        let stored_box = stored.dims_box.clone();
+        let stored_avg = stored.avg_cost;
+        let (dim, cut) = piece
+            .smallest_overlap_dim(&stored_box)
+            .expect("overlapping_ids guarantees overlap");
+
+        if stored_avg > new_avg_cost {
+            // The stored placement loses: shrink it along `dim`.
+            let pieces = stored_box.subtract_along(dim, cut);
+            apply_to_stored(mps, victim_candidate, pieces, fork_on_containment, &mut stats);
+            // The piece still owns `cut`; it may overlap other stored
+            // placements, so re-queue it.
+            pending.push(piece);
+        } else {
+            // The new placement loses (ties favour the incumbent): shrink
+            // the piece along `dim`.
+            let mut pieces = piece.subtract_along(dim, cut);
+            match pieces.len() {
+                0 => continue 'next_pending, // annihilated
+                1 => stats.new_shrunk += 1,
+                _ => {
+                    if fork_on_containment {
+                        stats.new_forked += 1;
+                    } else {
+                        stats.new_shrunk += 1;
+                        keep_larger(&mut pieces);
+                    }
+                }
+            }
+            pending.extend(pieces);
+        }
+    }
+    (survivors, stats)
+}
+
+fn apply_to_stored(
+    mps: &mut MultiPlacementStructure,
+    id: PlacementId,
+    mut pieces: Vec<DimsBox>,
+    fork_on_containment: bool,
+    stats: &mut ResolveStats,
+) {
+    match pieces.len() {
+        0 => {
+            stats.stored_annihilated += 1;
+            mps.remove(id);
+        }
+        1 => {
+            stats.stored_shrunk += 1;
+            mps.shrink(id, pieces.pop().expect("one piece"));
+        }
+        _ => {
+            if fork_on_containment {
+                stats.stored_forked += 1;
+                let second = pieces.pop().expect("two pieces");
+                let first = pieces.pop().expect("two pieces");
+                let entry = mps.entry(id).expect("live").clone();
+                mps.shrink(id, first);
+                let mut fork = StoredPlacement {
+                    dims_box: second,
+                    ..entry
+                };
+                // The fork keeps the same coordinates and costs; its best
+                // dims may fall outside the half it owns — clamp them in.
+                fork.best_dims = fork
+                    .dims_box
+                    .ranges()
+                    .iter()
+                    .zip(&fork.best_dims)
+                    .map(|(r, &(w, h))| (r.w.clamp_value(w), r.h.clamp_value(h)))
+                    .collect();
+                mps.insert_unchecked(fork);
+            } else {
+                stats.stored_shrunk += 1;
+                keep_larger(&mut pieces);
+                mps.shrink(id, pieces.pop().expect("one piece"));
+            }
+        }
+    }
+}
+
+/// Retains only the piece with the larger log-volume.
+fn keep_larger(pieces: &mut Vec<DimsBox>) {
+    if pieces.len() > 1 {
+        let (best_idx, _) = pieces
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.log_volume()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty");
+        let keep = pieces.swap_remove(best_idx);
+        pieces.clear();
+        pieces.push(keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_geom::{BlockRanges, Coord, Interval, Point, Rect};
+    use mps_netlist::{Block, Circuit};
+    use mps_placer::Placement;
+
+    fn circuit() -> Circuit {
+        Circuit::builder("r")
+            .block(Block::new("A", 1, 200, 1, 200))
+            .build()
+            .unwrap()
+    }
+
+    fn mps() -> MultiPlacementStructure {
+        MultiPlacementStructure::new(&circuit(), Rect::from_xywh(0, 0, 1_000, 1_000))
+    }
+
+    fn dbox(w: (Coord, Coord), h: (Coord, Coord)) -> DimsBox {
+        DimsBox::new(vec![BlockRanges::new(
+            Interval::new(w.0, w.1),
+            Interval::new(h.0, h.1),
+        )])
+    }
+
+    fn stored(w: (Coord, Coord), h: (Coord, Coord), avg: f64) -> StoredPlacement {
+        StoredPlacement {
+            placement: Placement::new(vec![Point::new(0, 0)]),
+            dims_box: dbox(w, h),
+            avg_cost: avg,
+            best_cost: avg,
+            best_dims: vec![(w.0, h.0)],
+        }
+    }
+
+    #[test]
+    fn no_overlap_passes_through() {
+        let mut m = mps();
+        m.insert_unchecked(stored((1, 50), (1, 50), 5.0));
+        let (out, stats) = resolve_overlaps(&mut m, dbox((60, 100), (1, 50)), 1.0, true);
+        assert_eq!(out, vec![dbox((60, 100), (1, 50))]);
+        assert_eq!(stats, ResolveStats::default());
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cheaper_newcomer_shrinks_stored() {
+        let mut m = mps();
+        let id = m.insert_unchecked(stored((1, 100), (1, 100), 10.0));
+        // Overlap in w = [80,100] (len 21) and h fully: w is the smallest
+        // overlap dim → stored shrinks to w [1,79].
+        let (out, stats) = resolve_overlaps(&mut m, dbox((80, 150), (1, 100)), 1.0, true);
+        assert_eq!(out, vec![dbox((80, 150), (1, 100))]);
+        assert_eq!(stats.stored_shrunk, 1);
+        assert_eq!(m.entry(id).unwrap().dims_box, dbox((1, 79), (1, 100)));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pricier_newcomer_is_shrunk() {
+        let mut m = mps();
+        m.insert_unchecked(stored((1, 100), (1, 100), 1.0));
+        let (out, stats) = resolve_overlaps(&mut m, dbox((80, 150), (1, 100)), 10.0, true);
+        assert_eq!(out, vec![dbox((101, 150), (1, 100))]);
+        assert_eq!(stats.new_shrunk, 1);
+        assert_eq!(m.entry(PlacementId(0)).unwrap().dims_box, dbox((1, 100), (1, 100)));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tie_favours_incumbent() {
+        let mut m = mps();
+        m.insert_unchecked(stored((1, 100), (1, 100), 5.0));
+        let (out, _) = resolve_overlaps(&mut m, dbox((80, 150), (1, 100)), 5.0, true);
+        assert_eq!(out, vec![dbox((101, 150), (1, 100))]);
+    }
+
+    #[test]
+    fn containment_forks_stored() {
+        let mut m = mps();
+        let id = m.insert_unchecked(stored((1, 200), (1, 100), 10.0));
+        // Newcomer strictly inside stored's w interval: stored forks.
+        let (out, stats) = resolve_overlaps(&mut m, dbox((50, 80), (1, 100)), 1.0, true);
+        assert_eq!(out, vec![dbox((50, 80), (1, 100))]);
+        assert_eq!(stats.stored_forked, 1);
+        assert_eq!(m.placement_count(), 2);
+        assert_eq!(m.entry(id).unwrap().dims_box, dbox((1, 49), (1, 100)));
+        let fork = m.entry(PlacementId(1)).unwrap();
+        assert_eq!(fork.dims_box, dbox((81, 200), (1, 100)));
+        // Fork keeps coordinates and costs, best dims clamped inside.
+        assert!(fork.dims_box.contains(&fork.best_dims));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn containment_without_fork_keeps_larger_piece() {
+        let mut m = mps();
+        let id = m.insert_unchecked(stored((1, 200), (1, 100), 10.0));
+        let (out, stats) = resolve_overlaps(&mut m, dbox((50, 80), (1, 100)), 1.0, false);
+        assert_eq!(out, vec![dbox((50, 80), (1, 100))]);
+        assert_eq!(stats.stored_forked, 0);
+        assert_eq!(stats.stored_shrunk, 1);
+        assert_eq!(m.placement_count(), 1);
+        // Larger piece is [81,200] (len 120 > 49).
+        assert_eq!(m.entry(id).unwrap().dims_box, dbox((81, 200), (1, 100)));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn newcomer_fork_produces_two_survivors() {
+        let mut m = mps();
+        m.insert_unchecked(stored((50, 80), (1, 100), 1.0));
+        // Newcomer spans the stored box in w: it forks around it.
+        let (mut out, stats) = resolve_overlaps(&mut m, dbox((1, 200), (1, 100)), 10.0, true);
+        out.sort_by_key(|b| b.ranges()[0].w.lo());
+        assert_eq!(out, vec![dbox((1, 49), (1, 100)), dbox((81, 200), (1, 100))]);
+        assert_eq!(stats.new_forked, 1);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn newcomer_annihilated_when_fully_covered() {
+        let mut m = mps();
+        m.insert_unchecked(stored((1, 200), (1, 200), 1.0));
+        let (out, _) = resolve_overlaps(&mut m, dbox((50, 80), (50, 80)), 10.0, true);
+        assert!(out.is_empty());
+        assert_eq!(m.placement_count(), 1);
+    }
+
+    #[test]
+    fn stored_annihilated_when_fully_covered() {
+        let mut m = mps();
+        m.insert_unchecked(stored((50, 80), (50, 80), 10.0));
+        let (out, stats) = resolve_overlaps(&mut m, dbox((1, 200), (1, 200)), 1.0, true);
+        assert_eq!(stats.stored_annihilated, 1);
+        assert_eq!(m.placement_count(), 0);
+        assert_eq!(out, vec![dbox((1, 200), (1, 200))]);
+    }
+
+    #[test]
+    fn multi_overlap_resolves_all() {
+        let mut m = mps();
+        m.insert_unchecked(stored((1, 60), (1, 200), 1.0));
+        m.insert_unchecked(stored((61, 120), (1, 200), 1.0));
+        m.insert_unchecked(stored((121, 200), (1, 200), 20.0));
+        // Newcomer overlaps all three; it loses to the first two (cheap)
+        // and beats the third.
+        let (out, _) = resolve_overlaps(&mut m, dbox((40, 160), (1, 200)), 5.0, true);
+        // Survivor: [121,160] carved from the expensive third placement's
+        // region... after losing [40,120] to the first two.
+        assert_eq!(out, vec![dbox((121, 160), (1, 200))]);
+        let third = m.entry(PlacementId(2)).unwrap();
+        assert_eq!(third.dims_box, dbox((161, 200), (1, 200)));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn survivors_are_pairwise_disjoint_and_storable() {
+        let mut m = mps();
+        m.insert_unchecked(stored((50, 80), (1, 100), 1.0));
+        m.insert_unchecked(stored((100, 130), (1, 100), 1.0));
+        let (out, _) = resolve_overlaps(&mut m, dbox((1, 200), (1, 100)), 10.0, true);
+        for (i, a) in out.iter().enumerate() {
+            for b in &out[i + 1..] {
+                assert!(!a.overlaps(b), "survivors overlap: {a:?} vs {b:?}");
+            }
+        }
+        // Store them and verify the whole structure still satisfies Eq. 5.
+        for b in out {
+            let best = (b.ranges()[0].w.lo(), b.ranges()[0].h.lo());
+            m.insert_unchecked(StoredPlacement {
+                placement: Placement::new(vec![Point::new(0, 0)]),
+                dims_box: b,
+                avg_cost: 10.0,
+                best_cost: 10.0,
+                best_dims: vec![best],
+            });
+        }
+        m.check_invariants().unwrap();
+    }
+}

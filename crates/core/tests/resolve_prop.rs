@@ -1,0 +1,68 @@
+//! Property-based tests of Resolve Overlaps + Store Placement: feeding an
+//! arbitrary stream of validity boxes through the structure must always
+//! leave it satisfying Eq. 5 (pairwise-disjoint boxes, well-formed rows),
+//! regardless of cost ordering or fork setting.
+//!
+//! The resolver itself is crate-private; this suite drives it through the
+//! public generation path plus `insert_unchecked`-based micro-structures.
+
+use mps_core::{GeneratorConfig, MpsGenerator};
+use mps_netlist::benchmarks::random_circuit;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Full-path property: arbitrary circuit, arbitrary budget and flags —
+    /// the generated structure always satisfies every invariant, and the
+    /// fallback always answers.
+    #[test]
+    fn generation_never_violates_eq5(
+        seed in 0u64..100_000,
+        blocks in 2usize..6,
+        nets in 2usize..7,
+        outer in 10usize..60,
+        inner in 10usize..50,
+        fork in prop::bool::ANY,
+        optimize_ranges in prop::bool::ANY,
+    ) {
+        let circuit = random_circuit(blocks, nets, seed);
+        let config = GeneratorConfig::builder()
+            .outer_iterations(outer)
+            .inner_iterations(inner)
+            .fork_on_containment(fork)
+            .optimize_ranges(optimize_ranges)
+            .seed(seed)
+            .build();
+        let mps = MpsGenerator::new(&circuit, config)
+            .generate()
+            .expect("random circuits validate");
+        mps.check_invariants().map_err(TestCaseError::fail)?;
+
+        // Uniqueness probe: the intersection-of-rows query never returns a
+        // dead id and the owner always covers the point.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+        for _ in 0..40 {
+            let dims: Vec<(i64, i64)> = circuit
+                .dim_bounds()
+                .iter()
+                .map(|b| {
+                    (
+                        rng.random_range(b.w.lo()..=b.w.hi()),
+                        rng.random_range(b.h.lo()..=b.h.hi()),
+                    )
+                })
+                .collect();
+            if let Some(id) = mps.query(&dims) {
+                let entry = mps.entry(id).expect("live id");
+                prop_assert!(entry.covers(&dims));
+            }
+            let p = mps.instantiate_or_fallback(&dims);
+            prop_assert!(p.is_legal(&dims, None));
+            let pc = mps.instantiate_compacted_or_fallback(&dims);
+            prop_assert!(pc.is_legal(&dims, None));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Minimal SVG rendering of floorplans (for regenerating Figs. 5 and 7).
+//!
+//! The paper illustrates its results with floorplan pictures: two different
+//! instantiations of the two-stage opamp from one multi-placement structure
+//! (Fig. 5a/5b), the fixed template placement (Fig. 5c), and an instantiation
+//! of the 21-module `tso-cascode` (Fig. 7). This module renders a list of
+//! labelled rectangles to a standalone SVG string so the bench binaries can
+//! write those figures to disk.
+
+use crate::Rect;
+use std::fmt::Write as _;
+
+/// A labelled rectangle to draw.
+#[derive(Debug, Clone)]
+pub struct LabelledRect {
+    /// Geometry in layout coordinates.
+    pub rect: Rect,
+    /// Text drawn at the rectangle center (block name).
+    pub label: String,
+    /// Fill color as a CSS color string (e.g. `"#cde"`).
+    pub fill: String,
+}
+
+/// Deterministic pastel fill color for block index `i`.
+#[must_use]
+pub fn palette(i: usize) -> String {
+    // Spread hues around the wheel; fixed saturation/lightness keeps labels
+    // readable.
+    let hue = (i as u64 * 47) % 360;
+    format!("hsl({hue}, 55%, 78%)")
+}
+
+/// Renders labelled rectangles into a standalone SVG document.
+///
+/// The viewport is fitted to the bounding box of the inputs plus a margin;
+/// the y-axis is flipped so layout "up" is screen "up".
+///
+/// # Example
+///
+/// ```
+/// use mps_geom::{Rect, svg};
+/// let blocks = vec![svg::LabelledRect {
+///     rect: Rect::from_xywh(0, 0, 20, 10),
+///     label: "M1".to_owned(),
+///     fill: svg::palette(0),
+/// }];
+/// let doc = svg::render(&blocks, 400);
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.contains("M1"));
+/// ```
+#[must_use]
+pub fn render(blocks: &[LabelledRect], pixel_width: u32) -> String {
+    let rects: Vec<Rect> = blocks.iter().map(|b| b.rect).collect();
+    let bb = Rect::bounding_box_of(&rects).unwrap_or_else(|| Rect::from_xywh(0, 0, 1, 1));
+    let margin = (bb.width().max(bb.height()) / 20).max(1);
+    let vx = bb.left() - margin;
+    let vy = bb.bottom() - margin;
+    let vw = bb.width() + 2 * margin;
+    let vh = bb.height() + 2 * margin;
+    let pixel_height = (pixel_width as f64 * vh as f64 / vw as f64).ceil() as u32;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{pixel_width}" height="{pixel_height}" viewBox="{vx} {vy} {vw} {vh}">"#
+    );
+    // Flip y: translate by top edge then scale(1,-1).
+    let flip_y = vy + vh + vy;
+    let _ = write!(out, r#"<g transform="translate(0,{flip_y}) scale(1,-1)">"#);
+    let _ = write!(
+        out,
+        r#"<rect x="{vx}" y="{vy}" width="{vw}" height="{vh}" fill="white" stroke="none"/>"#
+    );
+    let font = (vw.min(vh) as f64 / 25.0).max(1.0);
+    for b in blocks {
+        let r = b.rect;
+        let _ = write!(
+            out,
+            r##"<rect x="{}" y="{}" width="{}" height="{}" fill="{}" stroke="#333" stroke-width="{}"/>"##,
+            r.left(),
+            r.bottom(),
+            r.width(),
+            r.height(),
+            b.fill,
+            (font / 8.0).max(0.25),
+        );
+        let c = r.center();
+        // Counter-flip the text so it reads upright.
+        let _ = write!(
+            out,
+            r#"<text x="{}" y="{}" font-size="{font}" text-anchor="middle" transform="translate({},{}) scale(1,-1) translate({},{})">{}</text>"#,
+            0, 0, c.x, c.y, -c.x, -c.y, xml_escape(&b.label)
+        );
+    }
+    out.push_str("</g></svg>");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect;
+
+    fn sample() -> Vec<LabelledRect> {
+        vec![
+            LabelledRect {
+                rect: Rect::from_xywh(0, 0, 30, 10),
+                label: "M1".to_owned(),
+                fill: palette(0),
+            },
+            LabelledRect {
+                rect: Rect::from_xywh(0, 10, 15, 20),
+                label: "M2<3>".to_owned(),
+                fill: palette(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn render_produces_wellformed_document() {
+        let doc = render(&sample(), 300);
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>"));
+        assert_eq!(doc.matches("<rect").count(), 3); // background + 2 blocks
+        assert_eq!(doc.matches("<text").count(), 2);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let doc = render(&sample(), 300);
+        assert!(doc.contains("M2&lt;3&gt;"));
+        assert!(!doc.contains("M2<3>"));
+    }
+
+    #[test]
+    fn empty_input_still_renders() {
+        let doc = render(&[], 100);
+        assert!(doc.starts_with("<svg"));
+    }
+
+    #[test]
+    fn palette_is_deterministic_and_varied() {
+        assert_eq!(palette(3), palette(3));
+        assert_ne!(palette(0), palette(1));
+    }
+}

@@ -1,0 +1,698 @@
+//! The nine benchmark circuits of Table 1, plus a random-circuit generator.
+//!
+//! | Circuit            | Blocks | Nets | Terminals |
+//! |--------------------|--------|------|-----------|
+//! | circ01             | 4      | 4    | 12        |
+//! | circ02             | 6      | 4    | 18        |
+//! | circ06             | 6      | 4    | 18        |
+//! | TwoStage Opamp     | 5      | 9    | 22        |
+//! | SingleEnded Opamp  | 9      | 14   | 32        |
+//! | Mixer              | 8      | 6    | 15        |
+//! | circ08             | 8      | 8    | 24        |
+//! | tso-cascode        | 21     | 36   | 46        |
+//! | benchmark24        | 24     | 48   | 48        |
+//!
+//! The paper's netlists are not public; these synthetic circuits match the
+//! published block/net/terminal counts *exactly* (asserted by the tests
+//! below) and use analog-typical structure — differential pairs, mirror
+//! loads, tail sources, compensation capacitors, cascode stacks — so the
+//! cost landscape the multi-placement structure explores is realistic.
+//! For the two largest circuits, nets whose published terminal count cannot
+//! cover two pins each connect one block terminal to an external boundary
+//! pad (see the crate-level documentation).
+
+use crate::modgen::{
+    CapacitorGenerator, DiffPairGenerator, Generator, MosfetGenerator, ResistorGenerator,
+    SizingModel,
+};
+use crate::{Block, BlockId, Circuit, Net, Pad, PadSide, Pin};
+use mps_geom::Coord;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A benchmark: the circuit plus the sizing model that drives it during
+/// synthesis-loop experiments.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Name as printed in Table 1.
+    pub name: &'static str,
+    /// The circuit topology.
+    pub circuit: Circuit,
+    /// Per-block module generators.
+    pub model: SizingModel,
+}
+
+/// One row of Table 1 (derived, not hard-coded, from a circuit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRow {
+    /// Circuit name.
+    pub name: String,
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of block terminals.
+    pub terminals: usize,
+}
+
+impl TableRow {
+    /// Computes the row for a circuit.
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> Self {
+        Self {
+            name: circuit.name().to_owned(),
+            blocks: circuit.block_count(),
+            nets: circuit.net_count(),
+            terminals: circuit.terminal_count(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generator helpers — deterministic variety across block indices.
+// ---------------------------------------------------------------------------
+
+fn mosfet(scale: f64) -> Generator {
+    Generator::Mosfet(MosfetGenerator {
+        min_total_width: 40.0 * scale,
+        max_total_width: 900.0 * scale,
+        ..MosfetGenerator::default()
+    })
+}
+
+fn diff_pair(scale: f64) -> Generator {
+    Generator::DiffPair(DiffPairGenerator {
+        mosfet: MosfetGenerator {
+            min_total_width: 40.0 * scale,
+            max_total_width: 700.0 * scale,
+            ..MosfetGenerator::default()
+        },
+        matching_margin: 2,
+    })
+}
+
+fn capacitor(scale: f64) -> Generator {
+    Generator::Capacitor(CapacitorGenerator {
+        min_cap: 100.0 * scale,
+        max_cap: 2_500.0 * scale,
+        ..CapacitorGenerator::default()
+    })
+}
+
+fn resistor(scale: f64) -> Generator {
+    Generator::Resistor(ResistorGenerator {
+        min_squares: 20.0 * scale,
+        max_squares: 400.0 * scale,
+        ..ResistorGenerator::default()
+    })
+}
+
+fn blocks_from(names: &[&str], generators: &[Generator]) -> Vec<Block> {
+    assert_eq!(names.len(), generators.len());
+    names
+        .iter()
+        .zip(generators)
+        .map(|(n, g)| g.derive_block(*n))
+        .collect()
+}
+
+fn assemble(
+    name: &str,
+    names: &[&str],
+    generators: Vec<Generator>,
+    nets: Vec<Net>,
+) -> (Circuit, SizingModel) {
+    let blocks = blocks_from(names, &generators);
+    let circuit = Circuit::new(name, blocks, nets).expect("benchmark circuit must validate");
+    (circuit, SizingModel::new(generators))
+}
+
+fn b(i: usize) -> BlockId {
+    BlockId(i)
+}
+
+// ---------------------------------------------------------------------------
+// The nine circuits.
+// ---------------------------------------------------------------------------
+
+/// `circ01`: 4 blocks, 4 nets, 12 terminals. A minimal bias cell — mirror,
+/// source, resistor, capacitor — with three-pin nets.
+#[must_use]
+pub fn circ01() -> Circuit {
+    circ01_with_model().0
+}
+
+/// [`circ01`] plus its sizing model.
+#[must_use]
+pub fn circ01_with_model() -> (Circuit, SizingModel) {
+    let generators = vec![mosfet(1.0), mosfet(0.8), resistor(1.0), capacitor(0.6)];
+    let nets = vec![
+        Net::connecting("nbias", &[b(0), b(1), b(2)]).with_weight(2.0),
+        Net::connecting("nout", &[b(1), b(2), b(3)]),
+        Net::connecting("vdd", &[b(0), b(1), b(3)]),
+        Net::connecting("gnd", &[b(0), b(2), b(3)]),
+    ];
+    assemble("circ01", &["M1", "M2", "R1", "C1"], generators, nets)
+}
+
+/// `circ02`: 6 blocks, 4 nets, 18 terminals — a wide-net bias distribution
+/// cell (two 5-pin rails, two 4-pin bias nets).
+#[must_use]
+pub fn circ02() -> Circuit {
+    circ02_with_model().0
+}
+
+/// [`circ02`] plus its sizing model.
+#[must_use]
+pub fn circ02_with_model() -> (Circuit, SizingModel) {
+    let generators = vec![
+        mosfet(1.0),
+        mosfet(1.1),
+        mosfet(0.7),
+        mosfet(0.9),
+        resistor(1.2),
+        capacitor(1.0),
+    ];
+    let nets = vec![
+        Net::connecting("vdd", &[b(0), b(1), b(2), b(3), b(5)]),
+        Net::connecting("gnd", &[b(0), b(2), b(3), b(4), b(5)]),
+        Net::connecting("bias1", &[b(0), b(1), b(2), b(4)]).with_weight(1.5),
+        Net::connecting("bias2", &[b(1), b(3), b(4), b(5)]).with_weight(1.5),
+    ];
+    assemble(
+        "circ02",
+        &["M1", "M2", "M3", "M4", "R1", "C1"],
+        generators,
+        nets,
+    )
+}
+
+/// `circ06`: 6 blocks, 4 nets, 18 terminals — same statistics as `circ02`
+/// but a chained (rather than rail-based) connectivity and different module
+/// mix, giving a distinct cost landscape.
+#[must_use]
+pub fn circ06() -> Circuit {
+    circ06_with_model().0
+}
+
+/// [`circ06`] plus its sizing model.
+#[must_use]
+pub fn circ06_with_model() -> (Circuit, SizingModel) {
+    let generators = vec![
+        diff_pair(0.8),
+        mosfet(1.0),
+        mosfet(1.0),
+        capacitor(0.8),
+        capacitor(0.8),
+        resistor(0.9),
+    ];
+    let nets = vec![
+        Net::connecting("in", &[b(0), b(1), b(3), b(4), b(5)]).with_weight(2.0),
+        Net::connecting("mid", &[b(0), b(1), b(2), b(3), b(5)]),
+        Net::connecting("out", &[b(1), b(2), b(4), b(5)]),
+        Net::connecting("fb", &[b(0), b(2), b(3), b(4)]),
+    ];
+    assemble(
+        "circ06",
+        &["DP1", "M1", "M2", "C1", "C2", "R1"],
+        generators,
+        nets,
+    )
+}
+
+/// `TwoStage Opamp`: 5 blocks, 9 nets, 22 terminals. The paper's running
+/// example (Figs. 5 and 6): input differential pair, mirror load, tail
+/// current source, second-stage gm device, Miller compensation capacitor.
+#[must_use]
+pub fn two_stage_opamp() -> Circuit {
+    two_stage_opamp_with_model().0
+}
+
+/// [`two_stage_opamp`] plus its sizing model.
+#[must_use]
+pub fn two_stage_opamp_with_model() -> (Circuit, SizingModel) {
+    // DP = input pair, ML = mirror load, TS = tail source,
+    // GM2 = second stage, CC = compensation cap.
+    let generators = vec![
+        diff_pair(1.0),
+        mosfet(0.9),
+        mosfet(0.8),
+        mosfet(1.3),
+        capacitor(1.0),
+    ];
+    let nets = vec![
+        // 3-pin nets: 4 × 3 = 12 terminals.
+        Net::connecting("vdd", &[b(1), b(3), b(4)]),
+        Net::connecting("gnd", &[b(2), b(3), b(4)]),
+        Net::connecting("first_out", &[b(0), b(1), b(3)]).with_weight(2.0),
+        Net::connecting("tail", &[b(0), b(2), b(1)]),
+        // 2-pin nets: 5 × 2 = 10 terminals. Total 22.
+        Net::new("inp", vec![Pin::at(b(0), 0.1, 0.5), Pin::at(b(2), 0.5, 0.9)])
+            .with_weight(2.0),
+        Net::new("inn", vec![Pin::at(b(0), 0.9, 0.5), Pin::at(b(1), 0.5, 0.1)])
+            .with_weight(2.0),
+        Net::connecting("comp", &[b(3), b(4)]).with_weight(1.5),
+        Net::connecting("mirror", &[b(1), b(2)]),
+        Net::connecting("out", &[b(3), b(4)])
+            .with_pad(Pad::new(PadSide::Right, 0.5))
+            .with_weight(1.5),
+    ];
+    assemble(
+        "TwoStage Opamp",
+        &["DP", "ML", "TS", "GM2", "CC"],
+        generators,
+        nets,
+    )
+}
+
+/// `SingleEnded Opamp`: 9 blocks, 14 nets, 32 terminals — folded-cascode
+/// style single-ended amplifier.
+#[must_use]
+pub fn single_ended_opamp() -> Circuit {
+    single_ended_opamp_with_model().0
+}
+
+/// [`single_ended_opamp`] plus its sizing model.
+#[must_use]
+pub fn single_ended_opamp_with_model() -> (Circuit, SizingModel) {
+    let generators = vec![
+        diff_pair(1.0), // DP
+        mosfet(0.9),    // casc P 1
+        mosfet(0.9),    // casc P 2
+        mosfet(0.8),    // casc N 1
+        mosfet(0.8),    // casc N 2
+        mosfet(1.0),    // tail
+        mosfet(1.1),    // output stage
+        capacitor(0.9), // load cap
+        resistor(0.8),  // bias resistor
+    ];
+    let nets = vec![
+        // 4 three-pin nets = 12 terminals.
+        Net::connecting("vdd", &[b(1), b(2), b(6)]),
+        Net::connecting("gnd", &[b(3), b(4), b(5)]),
+        Net::connecting("foldp", &[b(0), b(1), b(3)]).with_weight(1.5),
+        Net::connecting("foldn", &[b(0), b(2), b(4)]).with_weight(1.5),
+        // 10 two-pin nets = 20 terminals. Total 32.
+        Net::connecting("inp", &[b(0), b(5)]).with_weight(2.0),
+        Net::connecting("casc_bias_p", &[b(1), b(2)]),
+        Net::connecting("casc_bias_n", &[b(3), b(4)]),
+        Net::connecting("stage2", &[b(4), b(6)]).with_weight(1.5),
+        Net::connecting("tail", &[b(0), b(5)]),
+        Net::connecting("outload", &[b(6), b(7)]),
+        Net::connecting("bias_r", &[b(5), b(8)]),
+        Net::connecting("bias_top", &[b(1), b(8)]),
+        Net::connecting("cap_gnd", &[b(7), b(8)]),
+        Net::connecting("out", &[b(6), b(7)])
+            .with_pad(Pad::new(PadSide::Right, 0.4))
+            .with_weight(1.5),
+    ];
+    assemble(
+        "SingleEnded Opamp",
+        &["DP", "MCP1", "MCP2", "MCN1", "MCN2", "MT", "MO", "CL", "RB"],
+        generators,
+        nets,
+    )
+}
+
+/// `Mixer`: 8 blocks, 6 nets, 15 terminals — Gilbert-cell style mixer with
+/// RF/LO switching quads abstracted into pair modules.
+#[must_use]
+pub fn mixer() -> Circuit {
+    mixer_with_model().0
+}
+
+/// [`mixer`] plus its sizing model.
+#[must_use]
+pub fn mixer_with_model() -> (Circuit, SizingModel) {
+    let generators = vec![
+        diff_pair(1.0), // RF pair
+        diff_pair(0.9), // LO quad half 1
+        diff_pair(0.9), // LO quad half 2
+        mosfet(1.0),    // tail
+        resistor(1.0),  // load R 1
+        resistor(1.0),  // load R 2
+        capacitor(0.7), // IF cap 1
+        capacitor(0.7), // IF cap 2
+    ];
+    let nets = vec![
+        // 3 three-pin + 3 two-pin = 15 terminals.
+        Net::connecting("rf", &[b(0), b(1), b(2)]).with_weight(2.0),
+        Net::connecting("ifp", &[b(1), b(4), b(6)]).with_weight(1.5),
+        Net::connecting("ifn", &[b(2), b(5), b(7)]).with_weight(1.5),
+        Net::connecting("tail", &[b(0), b(3)]),
+        Net::connecting("lop", &[b(1), b(2)]).with_weight(2.0),
+        Net::connecting("loads", &[b(4), b(5)]),
+    ];
+    assemble(
+        "Mixer",
+        &["RFP", "LOQ1", "LOQ2", "MT", "RL1", "RL2", "CI1", "CI2"],
+        generators,
+        nets,
+    )
+}
+
+/// `circ08`: 8 blocks, 8 nets, 24 terminals — a ring of three-pin nets over
+/// a mixed module population.
+#[must_use]
+pub fn circ08() -> Circuit {
+    circ08_with_model().0
+}
+
+/// [`circ08`] plus its sizing model.
+#[must_use]
+pub fn circ08_with_model() -> (Circuit, SizingModel) {
+    let generators = vec![
+        mosfet(1.0),
+        mosfet(0.9),
+        diff_pair(0.8),
+        mosfet(1.1),
+        capacitor(0.9),
+        resistor(1.0),
+        capacitor(0.7),
+        mosfet(0.8),
+    ];
+    // Eight 3-pin nets in a ring: net k connects blocks k, k+1, k+2 (mod 8).
+    let nets = (0..8)
+        .map(|k| {
+            Net::connecting(
+                format!("n{k}"),
+                &[b(k), b((k + 1) % 8), b((k + 2) % 8)],
+            )
+        })
+        .collect();
+    assemble(
+        "circ08",
+        &["M1", "M2", "DP1", "M3", "C1", "R1", "C2", "M4"],
+        generators,
+        nets,
+    )
+}
+
+/// `tso-cascode`: 21 blocks, 36 nets, 46 terminals — "a benchmark circuit
+/// of op-amps in cascode comprised of 21 modules, comparable in size to
+/// most complex analog blocks" (§4). Ten internal two-pin nets plus 26
+/// single-terminal pad nets (bias/supply connections leaving the region).
+#[must_use]
+pub fn tso_cascode() -> Circuit {
+    tso_cascode_with_model().0
+}
+
+/// [`tso_cascode`] plus its sizing model.
+#[must_use]
+pub fn tso_cascode_with_model() -> (Circuit, SizingModel) {
+    let mut generators = Vec::with_capacity(21);
+    let mut names: Vec<String> = Vec::with_capacity(21);
+    // Three cascoded op-amp slices of 6 modules each, plus 3 shared bias
+    // blocks.
+    for slice in 0..3 {
+        let scale = 0.8 + 0.2 * slice as f64;
+        generators.push(diff_pair(scale));
+        names.push(format!("DP{slice}"));
+        generators.push(mosfet(scale));
+        names.push(format!("MC{slice}A"));
+        generators.push(mosfet(scale * 0.9));
+        names.push(format!("MC{slice}B"));
+        generators.push(mosfet(scale * 1.1));
+        names.push(format!("MT{slice}"));
+        generators.push(capacitor(scale));
+        names.push(format!("CC{slice}"));
+        generators.push(mosfet(scale));
+        names.push(format!("MO{slice}"));
+    }
+    generators.push(resistor(1.0));
+    names.push("RB".to_owned());
+    generators.push(mosfet(1.0));
+    names.push("MB1".to_owned());
+    generators.push(mosfet(0.9));
+    names.push("MB2".to_owned());
+
+    let mut nets: Vec<Net> = Vec::with_capacity(36);
+    // Ten internal 2-pin nets: chain each slice and hook slices together.
+    for slice in 0..3usize {
+        let base = slice * 6;
+        nets.push(
+            Net::connecting(format!("s{slice}_casc"), &[b(base), b(base + 1)])
+                .with_weight(1.5),
+        );
+        nets.push(Net::connecting(
+            format!("s{slice}_fold"),
+            &[b(base + 1), b(base + 2)],
+        ));
+        nets.push(Net::connecting(
+            format!("s{slice}_out"),
+            &[b(base + 2), b(base + 5)],
+        ));
+    }
+    nets.push(Net::connecting("bias_chain", &[b(19), b(20)]));
+    debug_assert_eq!(nets.len(), 10);
+    // 26 single-terminal pad nets: every module's bias/supply tap.
+    let sides = [PadSide::Left, PadSide::Right, PadSide::Bottom, PadSide::Top];
+    for k in 0..26usize {
+        let block = k % 21;
+        let side = sides[k % 4];
+        let frac = 0.1 + 0.8 * (k as f32 / 25.0);
+        nets.push(
+            Net::new(format!("pad{k}"), vec![Pin::center_of(b(block))])
+                .with_pad(Pad::new(side, frac))
+                .with_weight(0.5),
+        );
+    }
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    assemble("tso-cascode", &name_refs, generators, nets)
+}
+
+/// `benchmark24`: 24 blocks, 48 nets, 48 terminals — the paper's largest
+/// synthetic benchmark. Every net is a single-terminal pad net (two per
+/// block), so the placement is driven purely by block-to-boundary pulls and
+/// area.
+#[must_use]
+pub fn benchmark24() -> Circuit {
+    benchmark24_with_model().0
+}
+
+/// [`benchmark24`] plus its sizing model.
+#[must_use]
+pub fn benchmark24_with_model() -> (Circuit, SizingModel) {
+    let mut generators = Vec::with_capacity(24);
+    let mut names = Vec::with_capacity(24);
+    for i in 0..24usize {
+        let scale = 0.6 + 0.05 * (i % 10) as f64;
+        let g = match i % 4 {
+            0 => mosfet(scale),
+            1 => diff_pair(scale),
+            2 => capacitor(scale),
+            _ => resistor(scale),
+        };
+        generators.push(g);
+        names.push(format!("X{i}"));
+    }
+    let sides = [PadSide::Left, PadSide::Right, PadSide::Bottom, PadSide::Top];
+    let mut nets = Vec::with_capacity(48);
+    for k in 0..48usize {
+        let block = k / 2; // two pad nets per block
+        let side = sides[(k * 7) % 4];
+        let frac = ((k * 13) % 10) as f32 / 9.0;
+        nets.push(
+            Net::new(format!("pad{k}"), vec![Pin::center_of(b(block))])
+                .with_pad(Pad::new(side, frac)),
+        );
+    }
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    assemble("benchmark24", &name_refs, generators, nets)
+}
+
+// ---------------------------------------------------------------------------
+// Suite access.
+// ---------------------------------------------------------------------------
+
+/// Every benchmark, in Table-1 order.
+#[must_use]
+pub fn all() -> Vec<Benchmark> {
+    let make = |name: &'static str, (circuit, model): (Circuit, SizingModel)| Benchmark {
+        name,
+        circuit,
+        model,
+    };
+    vec![
+        make("circ01", circ01_with_model()),
+        make("circ02", circ02_with_model()),
+        make("circ06", circ06_with_model()),
+        make("TwoStage Opamp", two_stage_opamp_with_model()),
+        make("SingleEnded Opamp", single_ended_opamp_with_model()),
+        make("Mixer", mixer_with_model()),
+        make("circ08", circ08_with_model()),
+        make("tso-cascode", tso_cascode_with_model()),
+        make("benchmark24", benchmark24_with_model()),
+    ]
+}
+
+/// Looks a benchmark up by its Table-1 name (case-insensitive).
+#[must_use]
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all()
+        .into_iter()
+        .find(|bm| bm.name.eq_ignore_ascii_case(name))
+}
+
+/// Computes Table 1 from the actual circuits.
+#[must_use]
+pub fn table1() -> Vec<TableRow> {
+    all().iter().map(|bm| TableRow::of(&bm.circuit)).collect()
+}
+
+/// Generates a random circuit for stress testing: `block_count` blocks with
+/// random bounds, `net_count` nets of 2–4 random pins.
+///
+/// # Panics
+///
+/// Panics if `block_count == 0`.
+#[must_use]
+pub fn random_circuit(block_count: usize, net_count: usize, seed: u64) -> Circuit {
+    assert!(block_count > 0, "need at least one block");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut blocks = Vec::with_capacity(block_count);
+    for i in 0..block_count {
+        let w_min: Coord = rng.random_range(8..40);
+        let h_min: Coord = rng.random_range(8..40);
+        let w_max = w_min * rng.random_range(2..6);
+        let h_max = h_min * rng.random_range(2..6);
+        blocks.push(Block::new(format!("X{i}"), w_min, w_max, h_min, h_max));
+    }
+    let mut nets = Vec::with_capacity(net_count);
+    for k in 0..net_count {
+        let pin_count = rng.random_range(2..=4usize.min(block_count.max(2)));
+        let mut members: Vec<usize> = (0..block_count).collect();
+        // Partial Fisher-Yates for a random subset.
+        for i in 0..pin_count.min(block_count) {
+            let j = rng.random_range(i..block_count);
+            members.swap(i, j);
+        }
+        let ids: Vec<BlockId> = members
+            .into_iter()
+            .take(pin_count.min(block_count))
+            .map(BlockId)
+            .collect();
+        nets.push(Net::connecting(format!("n{k}"), &ids));
+    }
+    Circuit::new(format!("random{seed}"), blocks, nets).expect("random circuit is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let expected = [
+            ("circ01", 4, 4, 12),
+            ("circ02", 6, 4, 18),
+            ("circ06", 6, 4, 18),
+            ("TwoStage Opamp", 5, 9, 22),
+            ("SingleEnded Opamp", 9, 14, 32),
+            ("Mixer", 8, 6, 15),
+            ("circ08", 8, 8, 24),
+            ("tso-cascode", 21, 36, 46),
+            ("benchmark24", 24, 48, 48),
+        ];
+        let rows = table1();
+        assert_eq!(rows.len(), expected.len());
+        for (row, (name, blocks, nets, terminals)) in rows.iter().zip(expected) {
+            assert_eq!(row.name, name);
+            assert_eq!(row.blocks, blocks, "{name} blocks");
+            assert_eq!(row.nets, nets, "{name} nets");
+            assert_eq!(row.terminals, terminals, "{name} terminals");
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_validate() {
+        for bm in all() {
+            bm.circuit.validate().unwrap_or_else(|e| panic!("{}: {e}", bm.name));
+        }
+    }
+
+    #[test]
+    fn models_cover_their_circuits() {
+        for bm in all() {
+            assert_eq!(
+                bm.model.block_count(),
+                bm.circuit.block_count(),
+                "{}: model arity",
+                bm.name
+            );
+            // Sizing at both parameter extremes stays inside block bounds.
+            let ranges = bm.model.param_ranges();
+            let lo: Vec<f64> = ranges.iter().map(|r| r.0).collect();
+            let hi: Vec<f64> = ranges.iter().map(|r| r.1).collect();
+            for params in [lo, hi] {
+                let dims = bm.model.dims(&params);
+                assert!(
+                    bm.circuit.admits_dims(&dims),
+                    "{}: generator output escapes block bounds",
+                    bm.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("mixer").is_some());
+        assert!(by_name("MIXER").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn two_stage_opamp_has_weighted_input_nets() {
+        let c = two_stage_opamp();
+        let weighted = c.nets().iter().filter(|n| n.weight() > 1.0).count();
+        assert!(weighted >= 3, "critical analog nets should carry weight");
+    }
+
+    #[test]
+    fn tso_cascode_pad_nets_have_single_terminal() {
+        let c = tso_cascode();
+        let singles = c.nets().iter().filter(|n| n.terminal_count() == 1).count();
+        assert_eq!(singles, 26);
+        for n in c.nets() {
+            if n.terminal_count() == 1 {
+                assert!(n.pad().is_some(), "single-terminal net {} needs a pad", n.name());
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark24_touches_every_block() {
+        let c = benchmark24();
+        for i in 0..c.block_count() {
+            assert!(
+                !c.nets_of_block(BlockId(i)).is_empty(),
+                "block {i} must be connected"
+            );
+        }
+    }
+
+    #[test]
+    fn random_circuit_is_reproducible() {
+        let a = random_circuit(10, 15, 42);
+        let c = random_circuit(10, 15, 42);
+        assert_eq!(a, c);
+        let d = random_circuit(10, 15, 43);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn random_circuit_respects_counts() {
+        let c = random_circuit(7, 11, 1);
+        assert_eq!(c.block_count(), 7);
+        assert_eq!(c.net_count(), 11);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn random_circuit_handles_small_block_counts() {
+        let c = random_circuit(2, 5, 9);
+        assert_eq!(c.block_count(), 2);
+        c.validate().unwrap();
+    }
+}

@@ -1,0 +1,46 @@
+//! Analog circuit netlist substrate.
+//!
+//! The multi-placement structure is generated *per circuit topology*: a set
+//! of N blocks (each with designer-set minimum/maximum width and height —
+//! the `w_m, h_m, w_M, h_M` constants of §2.1), the nets connecting their
+//! terminals, and the module generator functions that translate device sizes
+//! into block dimensions. This crate provides all of that, plus the nine
+//! benchmark circuits of the paper's Table 1.
+//!
+//! ## Terminal accounting
+//!
+//! Table 1 reports `(blocks, nets, terminals)` triples in which, for the two
+//! largest circuits, the terminal count is *smaller* than twice the net
+//! count (tso-cascode: 36 nets, 46 terminals; benchmark24: 48/48). Block
+//! terminals can therefore not all be 2-pin-net endpoints: some nets connect
+//! a single block terminal to an external pad (a realistic situation —
+//! bias, supply and I/O nets leave the placement region). Our model follows
+//! that reading: a [`Net`] owns one or more block [`Pin`]s and optionally an
+//! external [`Pad`] on the floorplan boundary; the `terminals` statistic is
+//! the total pin count, which matches Table 1 exactly for all nine circuits
+//! (verified by tests in [`benchmarks`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mps_netlist::benchmarks;
+//!
+//! let opamp = benchmarks::two_stage_opamp();
+//! assert_eq!(opamp.block_count(), 5);
+//! assert_eq!(opamp.net_count(), 9);
+//! assert_eq!(opamp.terminal_count(), 22);
+//! opamp.validate().expect("benchmark circuits are well-formed");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod block;
+mod circuit;
+pub mod modgen;
+mod net;
+
+pub use block::{Block, BlockId};
+pub use circuit::{Circuit, CircuitBuilder, ValidateCircuitError};
+pub use net::{Net, Pad, PadSide, Pin, PinOffset};

@@ -1,0 +1,102 @@
+//! Reproduces the Fig.-5 experience interactively: the same two-stage
+//! opamp, three sizings, three floorplans from one multi-placement
+//! structure — versus the single fixed arrangement a template gives —
+//! rendered as ASCII floorplans on stdout.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example opamp_floorplans
+//! ```
+
+use analog_mps::geom::{Coord, Rect};
+use analog_mps::mps::{GeneratorConfig, MpsGenerator};
+use analog_mps::netlist::benchmarks;
+use analog_mps::placer::{CostCalculator, Placement, Template};
+
+/// Renders a floorplan as ASCII art (blocks shown by their index letter).
+fn ascii_floorplan(placement: &Placement, dims: &[(Coord, Coord)], cols: usize) -> String {
+    let rects = placement.rects(dims);
+    let bb = Rect::bounding_box_of(&rects).expect("non-empty");
+    let scale = (bb.width().max(bb.height()) as f64 / cols as f64).max(1.0);
+    let w = (bb.width() as f64 / scale).ceil() as usize + 1;
+    let h = (bb.height() as f64 / scale).ceil() as usize + 1;
+    let mut grid = vec![vec![b'.'; w]; h];
+    for (i, r) in rects.iter().enumerate() {
+        let x0 = ((r.left() - bb.left()) as f64 / scale) as usize;
+        let x1 = (((r.right() - bb.left()) as f64 / scale) as usize).min(w - 1);
+        let y0 = ((r.bottom() - bb.bottom()) as f64 / scale) as usize;
+        let y1 = (((r.top() - bb.bottom()) as f64 / scale) as usize).min(h - 1);
+        let ch = b'A' + (i as u8 % 26);
+        for row in grid.iter_mut().take(y1 + 1).skip(y0) {
+            for cell in row.iter_mut().take(x1 + 1).skip(x0) {
+                *cell = ch;
+            }
+        }
+    }
+    // y grows upward in layout space; print top row first.
+    grid.iter()
+        .rev()
+        .map(|row| String::from_utf8_lossy(row).into_owned())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = benchmarks::two_stage_opamp();
+    println!("blocks:");
+    for (i, b) in circuit.blocks().iter().enumerate() {
+        println!(
+            "  {} = {} (w {}..{}, h {}..{})",
+            (b'A' + i as u8) as char,
+            b.name(),
+            b.min_width(),
+            b.max_width(),
+            b.min_height(),
+            b.max_height()
+        );
+    }
+
+    let config = GeneratorConfig::builder()
+        .outer_iterations(600)
+        .inner_iterations(150)
+        .seed(2005)
+        .build();
+    let mps = MpsGenerator::new(&circuit, config).generate()?;
+    println!("\nstructure holds {} placements", mps.placement_count());
+
+    let calc = CostCalculator::new(&circuit);
+    // Three sizings: the best dims of three differently-arranged entries.
+    let mut entries: Vec<_> = mps.iter().collect();
+    entries.sort_by(|a, b| a.1.best_cost.total_cmp(&b.1.best_cost));
+    let mut shown = Vec::new();
+    for (_, entry) in entries {
+        if shown
+            .iter()
+            .all(|p: &Placement| *p != entry.placement)
+        {
+            shown.push(entry.placement.clone());
+            let dims = entry.best_dims.clone();
+            let placement = mps.instantiate_or_fallback(&dims);
+            println!(
+                "\n--- MPS instantiation #{} (cost {:.0}) ---",
+                shown.len(),
+                calc.cost(&placement, &dims)
+            );
+            println!("{}", ascii_floorplan(&placement, &dims, 48));
+        }
+        if shown.len() == 2 {
+            break;
+        }
+    }
+
+    // Fig. 5c: the fixed template at the first sizing.
+    let template = Template::expert_default(&circuit, 6);
+    let dims = circuit.min_dims();
+    let placement = template.instantiate(&dims);
+    println!(
+        "\n--- template instantiation (cost {:.0}) — same arrangement for every sizing ---",
+        calc.cost(&placement, &dims)
+    );
+    println!("{}", ascii_floorplan(&placement, &dims, 48));
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # analog-mps — multi-placement structures for analog circuit synthesis
+//!
+//! Umbrella crate for the reproduction of *"Multi-Placement Structures for
+//! Fast and Optimized Placement in Analog Circuit Synthesis"* (Badaoui &
+//! Vemuri, DATE 2005). It re-exports the public API of every workspace crate
+//! so downstream users depend on a single crate:
+//!
+//! * [`geom`] — integer geometry: intervals, rectangles, interval-row maps,
+//!   dimension-space boxes.
+//! * [`netlist`] — circuits, blocks, nets, module generators, and the nine
+//!   Table-1 benchmark circuits.
+//! * [`anneal`] — the generic simulated-annealing engine used by both levels
+//!   of the paper's nested annealer and by the baseline placers.
+//! * [`placer`] — placement substrate: cost functions (wirelength + area),
+//!   placement expansion, template baseline, flat-SA baseline, sequence
+//!   pairs, symmetry constraints.
+//! * [`mps`] — the paper's contribution: the multi-placement structure, its
+//!   nested-SA generator, and the layout-inclusive synthesis loop.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use analog_mps::netlist::benchmarks;
+//! use analog_mps::mps::{GeneratorConfig, MpsGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // One-time generation for a topology (tiny budget to keep doctests fast).
+//! let circuit = benchmarks::circ01();
+//! let config = GeneratorConfig::builder()
+//!     .outer_iterations(40)
+//!     .inner_iterations(30)
+//!     .seed(7)
+//!     .build();
+//! let structure = MpsGenerator::new(&circuit, config).generate()?;
+//!
+//! // Iterative use in a synthesis loop: sizes in, floorplan out.
+//! let dims = circuit.clamp_dims(&circuit.min_dims());
+//! let placement = structure.instantiate_or_fallback(&dims);
+//! assert!(placement.is_legal(&dims, None));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use mps_anneal as anneal;
+pub use mps_core as mps;
+pub use mps_geom as geom;
+pub use mps_netlist as netlist;
+pub use mps_placer as placer;

@@ -1,0 +1,142 @@
+//! Cross-method integration: the three placement-method classes the paper
+//! positions itself between behave as §1 describes.
+
+use analog_mps::geom::Coord;
+use analog_mps::mps::{GeneratorConfig, MpsGenerator};
+use analog_mps::netlist::benchmarks;
+use analog_mps::placer::{CostCalculator, SaPlacer, SaPlacerConfig, Template};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+fn random_dims(circuit: &analog_mps::netlist::Circuit, rng: &mut StdRng) -> Vec<(Coord, Coord)> {
+    circuit
+        .dim_bounds()
+        .iter()
+        .map(|b| {
+            (
+                rng.random_range(b.w.lo()..=b.w.hi()),
+                rng.random_range(b.h.lo()..=b.h.hi()),
+            )
+        })
+        .collect()
+}
+
+/// "Speed is the major advantage of this [template] method" and the MPS
+/// must be "comparable to template-based approaches in speed": both
+/// instantiate orders of magnitude faster than a per-query SA run.
+#[test]
+fn instantiation_is_orders_of_magnitude_faster_than_flat_sa() {
+    let circuit = benchmarks::two_stage_opamp();
+    let mps = MpsGenerator::new(
+        &circuit,
+        GeneratorConfig::builder()
+            .outer_iterations(80)
+            .inner_iterations(60)
+            .seed(1)
+            .build(),
+    )
+    .generate()
+    .unwrap();
+    let sa = SaPlacer::new(
+        &circuit,
+        SaPlacerConfig {
+            iterations: 5_000,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    let queries: Vec<Vec<(Coord, Coord)>> =
+        (0..20).map(|_| random_dims(&circuit, &mut rng)).collect();
+
+    let t = Instant::now();
+    for dims in &queries {
+        let p = mps.instantiate_or_fallback(dims);
+        assert!(p.is_legal(dims, None));
+    }
+    let mps_time = t.elapsed();
+
+    let t = Instant::now();
+    for (k, dims) in queries.iter().enumerate().take(3) {
+        let out = sa.place(dims, k as u64);
+        assert!(out.placement.is_legal(dims, None));
+    }
+    let sa_time = t.elapsed() / 3 * queries.len() as u32;
+
+    assert!(
+        sa_time > mps_time * 100,
+        "flat SA ({sa_time:?} per {n} queries) should dwarf MPS instantiation ({mps_time:?})",
+        n = queries.len()
+    );
+}
+
+/// The flat SA placer — given real time — finds placements at least as
+/// good as the one-shot template at the same sizes (the quality side of
+/// the paper's positioning).
+#[test]
+fn flat_sa_quality_beats_or_matches_template() {
+    let circuit = benchmarks::circ02();
+    let calc = CostCalculator::new(&circuit);
+    let template = Template::expert_default(&circuit, 5);
+    let sa = SaPlacer::new(
+        &circuit,
+        SaPlacerConfig {
+            iterations: 15_000,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut sa_total = 0.0;
+    let mut template_total = 0.0;
+    for k in 0..5 {
+        let dims = random_dims(&circuit, &mut rng);
+        sa_total += calc.cost(&sa.place(&dims, k).placement, &dims);
+        template_total += calc.cost(&template.instantiate(&dims), &dims);
+    }
+    assert!(
+        sa_total <= template_total * 1.10,
+        "SA quality {sa_total:.0} should not lose badly to the fixed template {template_total:.0}"
+    );
+}
+
+/// The structure's stored placements were optimized per size region, so at
+/// each entry's own best dims the selected placement must be competitive
+/// with a fresh (budgeted) SA run — the quality claim of Fig. 6 /
+/// "optimized placements".
+#[test]
+fn stored_placements_are_competitive_at_their_best_dims() {
+    let circuit = benchmarks::circ01();
+    let calc = CostCalculator::new(&circuit);
+    let mps = MpsGenerator::new(
+        &circuit,
+        GeneratorConfig::builder()
+            .outer_iterations(200)
+            .inner_iterations(120)
+            .seed(4)
+            .build(),
+    )
+    .generate()
+    .unwrap();
+    let sa = SaPlacer::new(
+        &circuit,
+        SaPlacerConfig {
+            iterations: 8_000,
+            ..Default::default()
+        },
+    );
+    // Compare aggregate cost over the five best entries.
+    let mut entries: Vec<_> = mps.iter().map(|(_, e)| e.clone()).collect();
+    entries.sort_by(|a, b| a.best_cost.total_cmp(&b.best_cost));
+    let mut mps_total = 0.0;
+    let mut sa_total = 0.0;
+    for (k, entry) in entries.iter().take(5).enumerate() {
+        let dims = &entry.best_dims;
+        let selected = mps.instantiate(dims).expect("best dims are covered");
+        mps_total += calc.cost(&selected, dims);
+        sa_total += calc.cost(&sa.place(dims, 100 + k as u64).placement, dims);
+    }
+    assert!(
+        mps_total <= sa_total * 1.5,
+        "stored placements ({mps_total:.0}) should be within 1.5x of fresh SA ({sa_total:.0})"
+    );
+}

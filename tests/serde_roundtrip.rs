@@ -1,0 +1,80 @@
+//! Generate-once / use-everywhere: a structure serialized to JSON and
+//! reloaded must answer every query identically — the property the whole
+//! multi-placement workflow (Fig. 1) depends on.
+
+use analog_mps::geom::Coord;
+use analog_mps::mps::{GeneratorConfig, MpsGenerator, MultiPlacementStructure};
+use analog_mps::netlist::benchmarks;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+#[test]
+fn structure_roundtrips_through_json_with_identical_answers() {
+    let bm = benchmarks::by_name("circ02").unwrap();
+    let config = GeneratorConfig::builder()
+        .outer_iterations(80)
+        .inner_iterations(60)
+        .seed(5)
+        .build();
+    let mps = MpsGenerator::new(&bm.circuit, config).generate().unwrap();
+
+    let json = serde_json::to_string(&mps).expect("structure serializes");
+    let reloaded: MultiPlacementStructure =
+        serde_json::from_str(&json).expect("structure deserializes");
+
+    reloaded.check_invariants().expect("invariants survive");
+    assert_eq!(reloaded.placement_count(), mps.placement_count());
+    assert_eq!(reloaded.floorplan(), mps.floorplan());
+    assert!((reloaded.coverage() - mps.coverage()).abs() < 1e-12);
+
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..500 {
+        let dims: Vec<(Coord, Coord)> = bm
+            .circuit
+            .dim_bounds()
+            .iter()
+            .map(|b| {
+                (
+                    rng.random_range(b.w.lo()..=b.w.hi()),
+                    rng.random_range(b.h.lo()..=b.h.hi()),
+                )
+            })
+            .collect();
+        assert_eq!(reloaded.query(&dims), mps.query(&dims));
+        assert_eq!(
+            reloaded.instantiate_or_fallback(&dims),
+            mps.instantiate_or_fallback(&dims)
+        );
+    }
+}
+
+#[test]
+fn circuits_roundtrip_through_json() {
+    for bm in benchmarks::all() {
+        let json = serde_json::to_string(&bm.circuit).expect("serialize");
+        let back: analog_mps::netlist::Circuit = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, bm.circuit, "{}", bm.name);
+        assert_eq!(back.terminal_count(), bm.circuit.terminal_count());
+    }
+}
+
+#[test]
+fn sizing_models_roundtrip_through_json_functionally() {
+    // JSON decimal round-tripping may perturb derived float bounds in the
+    // last ulp (e.g. 990.0 vs 990.0000000000001), so compare the models
+    // *functionally*: identical dimensions at sampled parameters.
+    for bm in benchmarks::all() {
+        let json = serde_json::to_string(&bm.model).expect("serialize");
+        let back: analog_mps::netlist::modgen::SizingModel =
+            serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.block_count(), bm.model.block_count(), "{}", bm.name);
+        let ranges = bm.model.param_ranges();
+        for t in [0.0, 0.3, 0.7, 1.0] {
+            let params: Vec<f64> = ranges
+                .iter()
+                .map(|&(lo, hi)| lo + (hi - lo) * t)
+                .collect();
+            assert_eq!(back.dims(&params), bm.model.dims(&params), "{} at t={t}", bm.name);
+        }
+    }
+}

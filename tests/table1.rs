@@ -1,0 +1,45 @@
+//! Integration check: the benchmark suite reproduces the paper's Table 1
+//! exactly, through the public umbrella API.
+
+use analog_mps::netlist::benchmarks;
+
+#[test]
+fn table1_rows_match_the_paper() {
+    let expected: [(&str, usize, usize, usize); 9] = [
+        ("circ01", 4, 4, 12),
+        ("circ02", 6, 4, 18),
+        ("circ06", 6, 4, 18),
+        ("TwoStage Opamp", 5, 9, 22),
+        ("SingleEnded Opamp", 9, 14, 32),
+        ("Mixer", 8, 6, 15),
+        ("circ08", 8, 8, 24),
+        ("tso-cascode", 21, 36, 46),
+        ("benchmark24", 24, 48, 48),
+    ];
+    let rows = benchmarks::table1();
+    assert_eq!(rows.len(), expected.len(), "nine benchmark circuits");
+    for ((name, blocks, nets, terminals), row) in expected.iter().zip(&rows) {
+        assert_eq!(&row.name, name);
+        assert_eq!(row.blocks, *blocks, "{name}: blocks");
+        assert_eq!(row.nets, *nets, "{name}: nets");
+        assert_eq!(row.terminals, *terminals, "{name}: terminals");
+    }
+}
+
+#[test]
+fn every_benchmark_has_a_complete_sizing_model() {
+    for bm in benchmarks::all() {
+        assert_eq!(bm.model.block_count(), bm.circuit.block_count(), "{}", bm.name);
+        bm.circuit.validate().expect("benchmark circuits validate");
+        // Every block is reachable from some net (no floating modules in
+        // the cost function except via area).
+        let connected = (0..bm.circuit.block_count())
+            .filter(|&i| !bm.circuit.nets_of_block(i.into()).is_empty())
+            .count();
+        assert!(
+            connected * 2 >= bm.circuit.block_count(),
+            "{}: too many floating blocks",
+            bm.name
+        );
+    }
+}
