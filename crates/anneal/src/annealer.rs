@@ -2,7 +2,7 @@
 
 use crate::{AdaptiveSchedule, AnnealStats, Schedule};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// An optimization problem solvable by simulated annealing.
 ///
@@ -196,7 +196,11 @@ impl Annealer {
             mean_energy: current_energy,
             final_temperature: schedule.temperature(0, self.config.iterations),
         };
-        let mut energy_sum = if current_energy.is_finite() { current_energy } else { 0.0 };
+        let mut energy_sum = if current_energy.is_finite() {
+            current_energy
+        } else {
+            0.0
+        };
         let mut finite_count = usize::from(current_energy.is_finite());
 
         for k in 0..self.config.iterations {
@@ -321,8 +325,8 @@ mod tests {
 
     #[test]
     fn zero_iterations_returns_initial() {
-        let outcome = Annealer::new(AnnealerConfig::builder().iterations(0).seed(0).build())
-            .run(&AbsProblem);
+        let outcome =
+            Annealer::new(AnnealerConfig::builder().iterations(0).seed(0).build()).run(&AbsProblem);
         assert_eq!(outcome.best_state, 500);
         assert_eq!(outcome.final_state, 500);
         assert_eq!(outcome.stats.evaluated, 1);
@@ -379,8 +383,8 @@ mod tests {
                 s + rng.random_range(1..=2)
             }
         }
-        let outcome = Annealer::new(AnnealerConfig::builder().iterations(100).seed(7).build())
-            .run(&Spiky);
+        let outcome =
+            Annealer::new(AnnealerConfig::builder().iterations(100).seed(7).build()).run(&Spiky);
         assert!(outcome.stats.mean_energy.is_finite());
     }
 

@@ -19,7 +19,7 @@
 //! ```
 //! use mps_anneal::{Annealer, AnnealerConfig, Problem};
 //! use rand::rngs::StdRng;
-//! use rand::RngExt;
+//! use rand::Rng;
 //!
 //! /// Minimize x^2 over integers by random walk.
 //! struct Quadratic;

@@ -5,7 +5,12 @@
 /// Temperatures must be non-negative and (weakly) decreasing in practice,
 /// though the trait does not enforce monotonicity — adaptive schedules may
 /// reheat.
-pub trait Schedule {
+///
+/// Schedules are `Send + Sync`: the parallel multi-start generator in
+/// `mps-core` shares one schedule across its worker threads, and every
+/// reasonable schedule is a handful of floats. Stateful schedules must
+/// synchronize internally.
+pub trait Schedule: Send + Sync {
     /// Temperature at iteration `iteration` out of `total` iterations.
     fn temperature(&self, iteration: usize, total: usize) -> f64;
 }

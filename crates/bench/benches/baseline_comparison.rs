@@ -45,7 +45,13 @@ fn bench_baselines(c: &mut Criterion) {
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(10));
-    let sa = SaPlacer::new(&circuit, SaPlacerConfig { iterations: 5_000, ..Default::default() });
+    let sa = SaPlacer::new(
+        &circuit,
+        SaPlacerConfig {
+            iterations: 5_000,
+            ..Default::default()
+        },
+    );
     let mut rng = StdRng::seed_from_u64(3);
     let mut seed = 0u64;
     group.bench_function("flat_sa_place", |b| {

@@ -8,7 +8,7 @@
 //! * Coverage-target sweep — placements stored and generation effort as a
 //!   function of the stopping criterion.
 
-use mps_bench::{effort_from_args, fmt_duration, markdown_table, random_dims};
+use mps_bench::{effort_from_args, fmt_duration, markdown_table, parallel_from_args, random_dims};
 use mps_core::{GeneratorConfig, MpsGenerator};
 use mps_netlist::benchmarks;
 use mps_placer::CostCalculator;
@@ -31,23 +31,28 @@ fn main() {
     let effort = effort_from_args();
     let circuit = benchmarks::two_stage_opamp();
     let calc = CostCalculator::new(&circuit);
+    // The parallel knobs apply to every variant alike, so an ablation run
+    // with `--starts K` still compares equal budgets per row.
     let variants = vec![
-        Variant { name: "default", config: base(effort).build() },
+        Variant {
+            name: "default",
+            config: parallel_from_args(base(effort).build()),
+        },
         Variant {
             name: "no Eq.6 range optimization",
-            config: base(effort).optimize_ranges(false).build(),
+            config: parallel_from_args(base(effort).optimize_ranges(false).build()),
         },
         Variant {
             name: "no fork on containment",
-            config: base(effort).fork_on_containment(false).build(),
+            config: parallel_from_args(base(effort).fork_on_containment(false).build()),
         },
         Variant {
             name: "coverage target 0.5",
-            config: base(effort).coverage_target(0.5).build(),
+            config: parallel_from_args(base(effort).coverage_target(0.5).build()),
         },
         Variant {
             name: "coverage target 0.8",
-            config: base(effort).coverage_target(0.8).build(),
+            config: parallel_from_args(base(effort).coverage_target(0.8).build()),
         },
     ];
 
@@ -79,7 +84,10 @@ fn main() {
             fmt_duration(report.duration),
         ]);
     }
-    println!("Ablation study: two-stage opamp, {} outer iterations", (240.0 * effort) as usize);
+    println!(
+        "Ablation study: two-stage opamp, {} outer iterations",
+        (240.0 * effort) as usize
+    );
     println!(
         "{}",
         markdown_table(

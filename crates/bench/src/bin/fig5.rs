@@ -2,14 +2,16 @@
 //! two-stage opamp from one multi-placement structure (a, b) and the fixed
 //! template-based instantiation (c). SVGs are written to `out/`.
 
-use mps_bench::{effort_from_args, floorplan_svg, scaled_config, write_artifact};
+use mps_bench::{
+    effort_from_args, floorplan_svg, parallel_from_args, scaled_config, write_artifact,
+};
 use mps_core::MpsGenerator;
 use mps_netlist::benchmarks;
 use mps_placer::Template;
 
 fn main() {
     let circuit = benchmarks::two_stage_opamp();
-    let config = scaled_config(&circuit, effort_from_args(), 55);
+    let config = parallel_from_args(scaled_config(&circuit, effort_from_args(), 55));
     let mps = MpsGenerator::new(&circuit, config)
         .generate()
         .expect("benchmark circuit is valid");
@@ -39,7 +41,11 @@ fn main() {
             &format!("fig5_{tag}_mps.svg"),
             &floorplan_svg(&circuit, &placement, &dims),
         );
-        println!("Fig 5.{tag}: MPS instantiation ({:?}) -> {}", if tag == "a" { id_a } else { id_b }, path.display());
+        println!(
+            "Fig 5.{tag}: MPS instantiation ({:?}) -> {}",
+            if tag == "a" { id_a } else { id_b },
+            path.display()
+        );
     }
 
     // Fig 5.c: the fixed expert template at the same sizes as 5.a.

@@ -3,14 +3,14 @@
 //! multi-placement structure selects (bottom plot) for the two-stage
 //! opamp. Prints both series and writes `out/fig6.csv`.
 
-use mps_bench::{effort_from_args, fig6_sweep, scaled_config, write_artifact};
+use mps_bench::{effort_from_args, fig6_sweep, parallel_from_args, scaled_config, write_artifact};
 use mps_core::MpsGenerator;
 use mps_netlist::benchmarks;
 use std::fmt::Write as _;
 
 fn main() {
     let circuit = benchmarks::two_stage_opamp();
-    let config = scaled_config(&circuit, effort_from_args(), 66);
+    let config = parallel_from_args(scaled_config(&circuit, effort_from_args(), 66));
     let mps = MpsGenerator::new(&circuit, config)
         .generate()
         .expect("benchmark circuit is valid");
@@ -46,7 +46,9 @@ fn main() {
     let mut selected_points = 0usize;
     let mut envelope_hits = 0usize;
     for k in 0..data.sweep.len() {
-        let Some(sel) = data.selected[k] else { continue };
+        let Some(sel) = data.selected[k] else {
+            continue;
+        };
         selected_points += 1;
         let min_forced = data
             .per_placement

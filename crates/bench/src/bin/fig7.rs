@@ -1,13 +1,15 @@
 //! Regenerates Fig. 7: an optimized floorplan instantiation for the
 //! 21-module `tso-cascode` benchmark. SVG written to `out/`.
 
-use mps_bench::{effort_from_args, floorplan_svg, scaled_config, write_artifact};
+use mps_bench::{
+    effort_from_args, floorplan_svg, parallel_from_args, scaled_config, write_artifact,
+};
 use mps_core::MpsGenerator;
 use mps_netlist::benchmarks;
 
 fn main() {
     let circuit = benchmarks::tso_cascode();
-    let config = scaled_config(&circuit, effort_from_args(), 77);
+    let config = parallel_from_args(scaled_config(&circuit, effort_from_args(), 77));
     let mps = MpsGenerator::new(&circuit, config)
         .generate()
         .expect("benchmark circuit is valid");
@@ -25,7 +27,10 @@ fn main() {
         }
     };
     assert!(placement.is_legal(&dims, None));
-    let path = write_artifact("fig7_tso_cascode.svg", &floorplan_svg(&circuit, &placement, &dims));
+    let path = write_artifact(
+        "fig7_tso_cascode.svg",
+        &floorplan_svg(&circuit, &placement, &dims),
+    );
     println!(
         "Fig 7: tso-cascode instantiation ({} blocks) -> {}",
         circuit.block_count(),

@@ -8,7 +8,9 @@
 //! shape to verify: MPS time ≈ template time ≪ SA time, and MPS cost
 //! between SA cost and template cost (closer to SA).
 
-use mps_bench::{effort_from_args, fmt_duration, markdown_table, random_dims, scaled_config};
+use mps_bench::{
+    effort_from_args, fmt_duration, markdown_table, parallel_from_args, random_dims, scaled_config,
+};
 use mps_core::MpsGenerator;
 use mps_netlist::benchmarks;
 use mps_placer::{CostCalculator, SaPlacer, SaPlacerConfig, Template};
@@ -23,9 +25,12 @@ fn main() {
     for bm in benchmarks::all() {
         let circuit = &bm.circuit;
         let calc = CostCalculator::new(circuit);
-        let mps = MpsGenerator::new(circuit, scaled_config(circuit, effort, 11))
-            .generate()
-            .expect("valid circuit");
+        let mps = MpsGenerator::new(
+            circuit,
+            parallel_from_args(scaled_config(circuit, effort, 11)),
+        )
+        .generate()
+        .expect("valid circuit");
         let template = Template::expert_default(circuit, 6);
         let sa = SaPlacer::new(
             circuit,

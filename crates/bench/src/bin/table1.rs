@@ -16,5 +16,8 @@ fn main() {
         })
         .collect();
     println!("Table 1: Test Benchmarks");
-    println!("{}", markdown_table(&["Circuit", "Blocks", "Nets", "Terminals"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["Circuit", "Blocks", "Nets", "Terminals"], &rows)
+    );
 }

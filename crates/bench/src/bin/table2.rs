@@ -8,7 +8,10 @@
 //! micro/milliseconds regardless of circuit size, and (c) placement counts
 //! land in the same tens-to-hundreds band.
 
-use mps_bench::{effort_from_args, fmt_duration, markdown_table, table2_row};
+use mps_bench::{
+    effort_from_args, fmt_duration, markdown_table, parallel_from_args, scaled_config,
+    table2_row_with,
+};
 use mps_netlist::benchmarks;
 
 fn main() {
@@ -17,7 +20,8 @@ fn main() {
     eprintln!("generating multi-placement structures (effort {effort}) ...");
     let mut rows = Vec::new();
     for bm in benchmarks::all() {
-        let row = table2_row(&bm, effort, queries, 2005);
+        let config = parallel_from_args(scaled_config(&bm.circuit, effort, 2005));
+        let row = table2_row_with(&bm, config, queries, 2005);
         let ex = &row.report.explorer;
         eprintln!(
             "  {:<18} {:>9}  {:>4} placements  coverage {:>5.1}%  inst {}  \
@@ -46,7 +50,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Circuit", "CPU Generation Time", "Placements", "Coverage", "Instantiation"],
+            &[
+                "Circuit",
+                "CPU Generation Time",
+                "Placements",
+                "Coverage",
+                "Instantiation"
+            ],
             &rows
         )
     );

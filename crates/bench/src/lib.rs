@@ -25,7 +25,7 @@ use mps_netlist::benchmarks::Benchmark;
 use mps_netlist::Circuit;
 use mps_placer::{CostCalculator, Placement};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// One row of the regenerated Table 2.
@@ -77,10 +77,21 @@ pub fn random_dims(circuit: &Circuit, rng: &mut StdRng) -> Vec<(Coord, Coord)> {
 }
 
 /// Generates the structure and measures `queries` random instantiations —
-/// one Table-2 row.
+/// one Table-2 row — with the default size-scaled budget.
 #[must_use]
 pub fn table2_row(bm: &Benchmark, effort: f64, queries: usize, seed: u64) -> Table2Row {
-    let config = scaled_config(&bm.circuit, effort, seed);
+    table2_row_with(bm, scaled_config(&bm.circuit, effort, seed), queries, seed)
+}
+
+/// [`table2_row`] with an explicit generator configuration (e.g. one that
+/// carries multi-start/thread knobs).
+#[must_use]
+pub fn table2_row_with(
+    bm: &Benchmark,
+    config: GeneratorConfig,
+    queries: usize,
+    seed: u64,
+) -> Table2Row {
     let (mps, report) = MpsGenerator::new(&bm.circuit, config)
         .generate_with_report()
         .expect("benchmark circuits are valid");
@@ -234,16 +245,60 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Parses the single optional CLI effort argument (`--effort 0.5`,
-/// default 1.0).
+/// The value following `--<name>` on the CLI (`--name value` or
+/// `--name=value`), parsed, if the flag is present. Shared by every
+/// binary's lightweight flag handling.
+///
+/// # Panics
+///
+/// Exits with an error if the flag is present but its value is missing
+/// or unparsable — a measurement run must never silently fall back to a
+/// default the user believes they overrode.
+#[must_use]
+pub fn arg_value<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    let args: Vec<String> = std::env::args().collect();
+    let raw = args.iter().enumerate().find_map(|(i, a)| {
+        if *a == flag {
+            Some(args.get(i + 1).cloned())
+        } else {
+            a.strip_prefix(&prefix).map(|v| Some(v.to_owned()))
+        }
+    })?;
+    let Some(raw) = raw else {
+        eprintln!("error: {flag} requires a value");
+        std::process::exit(2);
+    };
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("error: invalid value {raw:?} for {flag}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses the optional CLI effort argument (`--effort 0.5`, default 1.0).
 #[must_use]
 pub fn effort_from_args() -> f64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--effort")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0)
+    arg_value("effort").unwrap_or(1.0)
+}
+
+/// Applies the optional CLI parallel-generation knobs to a config:
+/// `--starts K` (default: keep the config's start count) and
+/// `--threads T` (`0` = one per core; default: keep the config's count).
+/// Every binary that generates a structure accepts them, so any paper
+/// artefact can be regenerated with multi-start diversity and all cores.
+#[must_use]
+pub fn parallel_from_args(mut config: GeneratorConfig) -> GeneratorConfig {
+    if let Some(starts) = arg_value::<usize>("starts") {
+        config.num_starts = starts.max(1);
+    }
+    if let Some(threads) = arg_value::<usize>("threads") {
+        config.threads = threads;
+    }
+    config
 }
 
 /// Ensures `out/` exists and writes a file into it, returning the path.

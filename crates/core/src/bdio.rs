@@ -12,7 +12,7 @@ use mps_anneal::{Annealer, AnnealerConfig, Problem};
 use mps_geom::{Coord, DimsBox, Interval};
 use mps_placer::{CostCalculator, Placement};
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 
 /// Tuning of the inner annealing loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -184,9 +184,7 @@ fn optimize_ranges(
         .ranges()
         .iter()
         .zip(best_dims)
-        .map(|(r, &(bw, bh))| {
-            mps_geom::BlockRanges::new(shrink(r.w, bw), shrink(r.h, bh))
-        })
+        .map(|(r, &(bw, bh))| mps_geom::BlockRanges::new(shrink(r.w, bw), shrink(r.h, bh)))
         .collect();
     DimsBox::new(ranges)
 }
@@ -247,8 +245,7 @@ mod tests {
     fn setup() -> (mps_netlist::Circuit, Placement, DimsBox, Rect) {
         let circuit = benchmarks::two_stage_opamp();
         let fp = circuit.suggested_floorplan(1.5);
-        let placement =
-            Template::expert_default(&circuit, 3).instantiate(&circuit.min_dims());
+        let placement = Template::expert_default(&circuit, 3).instantiate(&circuit.min_dims());
         let dbox =
             expand_placement(&circuit, &placement, &fp, &ExpansionConfig::default()).unwrap();
         (circuit, placement, dbox, fp)
@@ -280,7 +277,10 @@ mod tests {
     fn disabling_optimize_ranges_keeps_box() {
         let (circuit, placement, dbox, _) = setup();
         let calc = CostCalculator::new(&circuit);
-        let config = BdioConfig { optimize_ranges: false, ..BdioConfig::default() };
+        let config = BdioConfig {
+            optimize_ranges: false,
+            ..BdioConfig::default()
+        };
         let result = Bdio::new(&calc, config).optimize(&placement, &dbox, 7);
         assert_eq!(result.reduced_box, dbox);
     }
@@ -307,7 +307,10 @@ mod tests {
             Interval::new(0, 10),
         )]);
         assert_eq!(optimize_ranges(&dbox, &[(5, 5)], 0.0, 0.0), dbox);
-        assert_eq!(optimize_ranges(&dbox, &[(5, 5)], f64::INFINITY, 1.0).block_count(), 1);
+        assert_eq!(
+            optimize_ranges(&dbox, &[(5, 5)], f64::INFINITY, 1.0).block_count(),
+            1
+        );
     }
 
     #[test]
@@ -324,10 +327,22 @@ mod tests {
     fn more_iterations_find_no_worse_best() {
         let (circuit, placement, dbox, _) = setup();
         let calc = CostCalculator::new(&circuit);
-        let quick = Bdio::new(&calc, BdioConfig { iterations: 10, ..Default::default() })
-            .optimize(&placement, &dbox, 3);
-        let thorough = Bdio::new(&calc, BdioConfig { iterations: 2_000, ..Default::default() })
-            .optimize(&placement, &dbox, 3);
+        let quick = Bdio::new(
+            &calc,
+            BdioConfig {
+                iterations: 10,
+                ..Default::default()
+            },
+        )
+        .optimize(&placement, &dbox, 3);
+        let thorough = Bdio::new(
+            &calc,
+            BdioConfig {
+                iterations: 2_000,
+                ..Default::default()
+            },
+        )
+        .optimize(&placement, &dbox, 3);
         assert!(thorough.best_cost <= quick.best_cost * 1.05);
     }
 }

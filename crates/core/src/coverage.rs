@@ -106,8 +106,7 @@ mod tests {
 
     #[test]
     fn half_width_box_covers_half_volume() {
-        let mut mps =
-            MultiPlacementStructure::new(&circuit(), Rect::from_xywh(0, 0, 500, 500));
+        let mut mps = MultiPlacementStructure::new(&circuit(), Rect::from_xywh(0, 0, 500, 500));
         // Width covered [10,59] = 50 of 100; height fully [10,109].
         mps.insert_unchecked(entry((10, 59), (10, 109)));
         assert!((volume_coverage(&mps) - 0.5).abs() < 1e-9);
@@ -116,8 +115,7 @@ mod tests {
 
     #[test]
     fn disjoint_boxes_accumulate_volume() {
-        let mut mps =
-            MultiPlacementStructure::new(&circuit(), Rect::from_xywh(0, 0, 500, 500));
+        let mut mps = MultiPlacementStructure::new(&circuit(), Rect::from_xywh(0, 0, 500, 500));
         mps.insert_unchecked(entry((10, 59), (10, 59)));
         mps.insert_unchecked(entry((60, 109), (10, 59)));
         // Each box is a quarter of the space.
@@ -128,8 +126,7 @@ mod tests {
 
     #[test]
     fn full_box_covers_everything() {
-        let mut mps =
-            MultiPlacementStructure::new(&circuit(), Rect::from_xywh(0, 0, 500, 500));
+        let mut mps = MultiPlacementStructure::new(&circuit(), Rect::from_xywh(0, 0, 500, 500));
         mps.insert_unchecked(entry((10, 109), (10, 109)));
         assert!((volume_coverage(&mps) - 1.0).abs() < 1e-9);
         assert!((row_coverage(&mps) - 1.0).abs() < 1e-9);

@@ -17,7 +17,7 @@ use mps_geom::{Coord, Point, Rect};
 use mps_netlist::Circuit;
 use mps_placer::{expand_placement, ExpansionConfig, Placement, SequencePair};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Tuning of the outer loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,7 +92,7 @@ pub struct ExplorerStats {
 }
 
 impl ExplorerStats {
-    fn absorb(&mut self, r: &ResolveStats) {
+    pub(crate) fn absorb(&mut self, r: &ResolveStats) {
         self.stored_shrunk += r.stored_shrunk;
         self.stored_forked += r.stored_forked;
         self.stored_annihilated += r.stored_annihilated;
@@ -114,7 +114,10 @@ pub(crate) fn explore(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stats = ExplorerStats::default();
     let floorplan = mps.floorplan();
-    let schedule = AdaptiveSchedule::new(config.t0.max(1e-9), config.t_end.clamp(1e-9, config.t0.max(1e-9)));
+    let schedule = AdaptiveSchedule::new(
+        config.t0.max(1e-9),
+        config.t_end.clamp(1e-9, config.t0.max(1e-9)),
+    );
     let min_dims = circuit.min_dims();
 
     // §3.1.1 Placement Selector: a random legal starting placement.
@@ -136,7 +139,13 @@ pub(crate) fn explore(
             current_cost = f64::INFINITY;
             current.clone()
         } else {
-            perturb(&current, &min_dims, &floorplan, config.perturb_fraction, &mut rng)
+            perturb(
+                &current,
+                &min_dims,
+                &floorplan,
+                config.perturb_fraction,
+                &mut rng,
+            )
         };
         stats.proposals += 1;
 
@@ -144,20 +153,21 @@ pub(crate) fn explore(
         // dimensions are first legalized by a sequence-pair round-trip at
         // minimum dimensions (preserving the proposal's relative
         // arrangement); only placements that still fail are rejected.
-        let (candidate, first_box) = match expand_placement(circuit, &candidate, &floorplan, expansion)
-        {
-            Ok(b) => (candidate, b),
-            Err(_) => {
-                let packed = SequencePair::from_placement(&candidate, &min_dims).pack(&min_dims);
-                match expand_placement(circuit, &packed, &floorplan, expansion) {
-                    Ok(b) => (packed, b),
-                    Err(_) => {
-                        stats.rejected_illegal += 1;
-                        continue; // never accepted, current unchanged
+        let (candidate, first_box) =
+            match expand_placement(circuit, &candidate, &floorplan, expansion) {
+                Ok(b) => (candidate, b),
+                Err(_) => {
+                    let packed =
+                        SequencePair::from_placement(&candidate, &min_dims).pack(&min_dims);
+                    match expand_placement(circuit, &packed, &floorplan, expansion) {
+                        Ok(b) => (packed, b),
+                        Err(_) => {
+                            stats.rejected_illegal += 1;
+                            continue; // never accepted, current unchanged
+                        }
                     }
                 }
-            }
-        };
+            };
 
         // Compaction (quality refinement over the paper's bare algorithm,
         // see DESIGN.md): repack the proposal's relative arrangement at the
@@ -167,11 +177,11 @@ pub(crate) fn explore(
         // then grants the compacted coordinates their own (usually larger)
         // box. Falls back to the raw proposal when the sequence-pair
         // round-trip does not help.
-        let (candidate, expanded_box) = match compact(circuit, &candidate, &first_box, &floorplan, expansion)
-        {
-            Some(pair) => pair,
-            None => (candidate, first_box),
-        };
+        let (candidate, expanded_box) =
+            match compact(circuit, &candidate, &first_box, &floorplan, expansion) {
+                Some(pair) => pair,
+                None => (candidate, first_box),
+            };
 
         // §3.2 Block Dimensions-Intervals Optimizer.
         let bdio_seed = rng.random::<u64>();
@@ -270,11 +280,7 @@ fn initial_placement(
     SequencePair::row(circuit.block_count()).pack(&min_dims)
 }
 
-fn random_placement(
-    min_dims: &[(Coord, Coord)],
-    floorplan: &Rect,
-    rng: &mut StdRng,
-) -> Placement {
+fn random_placement(min_dims: &[(Coord, Coord)], floorplan: &Rect, rng: &mut StdRng) -> Placement {
     let coords = min_dims
         .iter()
         .map(|&(w, h)| {
@@ -345,7 +351,13 @@ mod tests {
         let floorplan = circuit.suggested_floorplan(1.5);
         let mut mps = MultiPlacementStructure::new(circuit, floorplan);
         let calc = CostCalculator::new(circuit).with_floorplan(floorplan);
-        let bdio = Bdio::new(&calc, BdioConfig { iterations: 60, ..Default::default() });
+        let bdio = Bdio::new(
+            &calc,
+            BdioConfig {
+                iterations: 60,
+                ..Default::default()
+            },
+        );
         let config = ExplorerConfig {
             outer_iterations: outer,
             coverage_target: 0.99,

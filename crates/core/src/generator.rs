@@ -54,6 +54,16 @@ pub struct GeneratorConfig {
     pub seed: u64,
     /// Effort (log2 candidate count) of the fallback template search.
     pub fallback_effort_log2: u32,
+    /// Independently seeded explorer starts whose structures are merged
+    /// into one (see [`crate::parallel`]). `1` reproduces the paper's
+    /// single-walk generation exactly.
+    pub num_starts: usize,
+    /// Worker threads for multi-start generation. `0` means one per
+    /// available core; the effective count is always capped at
+    /// [`GeneratorConfig::num_starts`]. The generated structure is
+    /// bit-identical for every thread count — threads change wall-clock
+    /// time only.
+    pub threads: usize,
 }
 
 impl Default for GeneratorConfig {
@@ -66,6 +76,8 @@ impl Default for GeneratorConfig {
             floorplan_slack: 1.5,
             seed: 0,
             fallback_effort_log2: 6,
+            num_starts: 1,
+            threads: 1,
         }
     }
 }
@@ -160,6 +172,32 @@ impl GeneratorConfigBuilder {
         self
     }
 
+    /// Number of independently seeded explorer starts to merge (≥ 1).
+    ///
+    /// Each start runs the full outer/inner iteration budget from its own
+    /// seed (derived deterministically from the master seed), so total
+    /// generation work scales linearly with the start count — and so does
+    /// the explored placement diversity.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`GeneratorConfigBuilder::build`]) if zero.
+    #[must_use]
+    pub fn num_starts(mut self, n: usize) -> Self {
+        self.config.num_starts = n;
+        self
+    }
+
+    /// Worker threads for multi-start generation (`0` = one per core).
+    ///
+    /// Thread count never changes the generated structure, only the
+    /// wall-clock time of the embarrassingly parallel start phase.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.config.threads = n;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -181,7 +219,11 @@ impl GeneratorConfigBuilder {
             c.bdio.perturb_fraction > 0.0 && c.bdio.perturb_fraction <= 1.0,
             "dimension perturb fraction must be in (0, 1]"
         );
-        assert!(c.floorplan_slack >= 1.0, "floorplan slack must be at least 1");
+        assert!(
+            c.floorplan_slack >= 1.0,
+            "floorplan slack must be at least 1"
+        );
+        assert!(c.num_starts >= 1, "at least one start is required");
         self.config
     }
 }
@@ -196,8 +238,20 @@ pub struct GenerationReport {
     pub placements: usize,
     /// Final coverage.
     pub coverage: f64,
-    /// Outer-loop counters.
+    /// Outer-loop counters. For multi-start runs, the exploration
+    /// counters (`proposals`, `accepted`, `rejected_illegal`) sum over
+    /// the starts while the store/resolve counters describe the merge
+    /// pass that built the returned structure; `final_coverage` is the
+    /// merged structure's coverage. Per-start counters stay available in
+    /// [`GenerationReport::per_start`].
     pub explorer: ExplorerStats,
+    /// Explorer starts that contributed (1 for the paper's single-walk
+    /// generation).
+    pub starts: usize,
+    /// Per-start explorer counters, in start order. These are
+    /// thread-count independent: the same seeds produce the same entries
+    /// whether the starts ran serially or in parallel.
+    pub per_start: Vec<ExplorerStats>,
 }
 
 /// The one-time generator (Fig. 1a): runs the nested annealer over a
@@ -273,23 +327,36 @@ impl<'a> MpsGenerator<'a> {
     ) -> Result<(MultiPlacementStructure, GenerationReport), GenerateError> {
         self.circuit.validate()?;
         let start = Instant::now();
-        let floorplan = self.circuit.suggested_floorplan(self.config.floorplan_slack);
-        let mut mps = MultiPlacementStructure::new(self.circuit, floorplan);
-        let mut calc = CostCalculator::new(self.circuit)
-            .with_weights(self.config.weights)
-            .with_floorplan(floorplan);
-        if let Some(sym) = self.symmetry {
-            calc = calc.with_symmetry(sym);
-        }
-        let bdio = Bdio::new(&calc, self.config.bdio);
-        let explorer_stats = explore(
-            self.circuit,
-            &mut mps,
-            &bdio,
-            &self.config.expansion,
-            &self.config.explorer,
-            self.config.seed,
-        );
+        let floorplan = self
+            .circuit
+            .suggested_floorplan(self.config.floorplan_slack);
+
+        let (mut mps, per_start, explorer_stats) = if self.config.num_starts > 1 {
+            crate::parallel::generate_multi_start(
+                self.circuit,
+                &self.config,
+                self.symmetry,
+                floorplan,
+            )
+        } else {
+            let mut mps = MultiPlacementStructure::new(self.circuit, floorplan);
+            let mut calc = CostCalculator::new(self.circuit)
+                .with_weights(self.config.weights)
+                .with_floorplan(floorplan);
+            if let Some(sym) = self.symmetry {
+                calc = calc.with_symmetry(sym);
+            }
+            let bdio = Bdio::new(&calc, self.config.bdio);
+            let explorer_stats = explore(
+                self.circuit,
+                &mut mps,
+                &bdio,
+                &self.config.expansion,
+                &self.config.explorer,
+                self.config.seed,
+            );
+            (mps, vec![explorer_stats], explorer_stats)
+        };
 
         // §3.1.4: map the uncovered remainder of the space to a
         // template-like placement for backup purposes. Prefer freezing the
@@ -309,6 +376,11 @@ impl<'a> MpsGenerator<'a> {
             placements: mps.placement_count(),
             coverage: mps.coverage(),
             explorer: explorer_stats,
+            // per_start.len(), not config.num_starts: pub-field configs
+            // can bypass the builder's >= 1 validation, and the report
+            // must describe what actually ran.
+            starts: per_start.len(),
+            per_start,
         };
         Ok((mps, report))
     }
@@ -344,7 +416,9 @@ mod tests {
     #[test]
     fn fallback_serves_whole_space() {
         let circuit = benchmarks::circ01();
-        let mps = MpsGenerator::new(&circuit, quick_config(2)).generate().unwrap();
+        let mps = MpsGenerator::new(&circuit, quick_config(2))
+            .generate()
+            .unwrap();
         for dims in [circuit.min_dims(), circuit.max_dims()] {
             let p = mps.instantiate_or_fallback(&dims);
             assert!(p.is_legal(&dims, None));
@@ -401,7 +475,10 @@ mod tests {
         // immutable, so exercise the From impl directly.
         let err: GenerateError = mps_netlist::ValidateCircuitError::NoBlocks.into();
         assert!(err.to_string().contains("invalid circuit"));
-        let _ = (Block::new("x", 1, 2, 1, 2), Net::new("n", vec![Pin::center_of(0.into())]));
+        let _ = (
+            Block::new("x", 1, 2, 1, 2),
+            Net::new("n", vec![Pin::center_of(0.into())]),
+        );
         let _ = Circuit::builder("ok");
     }
 }

@@ -16,6 +16,10 @@
 //!   *Resolve Overlaps* keeps regions disjoint.
 //! * [`SynthesisLoop`] — the layout-inclusive sizing loop of Fig. 1b, which
 //!   exercises the structure the way a synthesis tool would.
+//! * [`parallel`] — multi-start generation: K independently seeded
+//!   explorer walks on a scoped thread pool, merged deterministically
+//!   through Resolve Overlaps. Enabled via
+//!   [`GeneratorConfig::num_starts`] / [`GeneratorConfig::threads`].
 //!
 //! # Quickstart
 //!
@@ -49,6 +53,7 @@ mod coverage;
 mod entry;
 mod explorer;
 mod generator;
+pub mod parallel;
 mod resolve;
 mod structure;
 mod synthesis;
@@ -57,6 +62,8 @@ pub use bdio::{Bdio, BdioConfig, BdioResult};
 pub use coverage::{row_coverage, volume_coverage};
 pub use entry::{PlacementId, StoredPlacement};
 pub use explorer::{ExplorerConfig, ExplorerStats};
-pub use generator::{GenerateError, GenerationReport, GeneratorConfig, GeneratorConfigBuilder, MpsGenerator};
+pub use generator::{
+    GenerateError, GenerationReport, GeneratorConfig, GeneratorConfigBuilder, MpsGenerator,
+};
 pub use structure::MultiPlacementStructure;
 pub use synthesis::{PerformanceModel, SynthesisLoop, SynthesisOutcome};

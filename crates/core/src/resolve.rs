@@ -68,7 +68,13 @@ pub(crate) fn resolve_overlaps(
         if stored_avg > new_avg_cost {
             // The stored placement loses: shrink it along `dim`.
             let pieces = stored_box.subtract_along(dim, cut);
-            apply_to_stored(mps, victim_candidate, pieces, fork_on_containment, &mut stats);
+            apply_to_stored(
+                mps,
+                victim_candidate,
+                pieces,
+                fork_on_containment,
+                &mut stats,
+            );
             // The piece still owns `cut`; it may overlap other stored
             // placements, so re-queue it.
             pending.push(piece);
@@ -220,7 +226,10 @@ mod tests {
         let (out, stats) = resolve_overlaps(&mut m, dbox((80, 150), (1, 100)), 10.0, true);
         assert_eq!(out, vec![dbox((101, 150), (1, 100))]);
         assert_eq!(stats.new_shrunk, 1);
-        assert_eq!(m.entry(PlacementId(0)).unwrap().dims_box, dbox((1, 100), (1, 100)));
+        assert_eq!(
+            m.entry(PlacementId(0)).unwrap().dims_box,
+            dbox((1, 100), (1, 100))
+        );
         m.check_invariants().unwrap();
     }
 
@@ -270,7 +279,10 @@ mod tests {
         // Newcomer spans the stored box in w: it forks around it.
         let (mut out, stats) = resolve_overlaps(&mut m, dbox((1, 200), (1, 100)), 10.0, true);
         out.sort_by_key(|b| b.ranges()[0].w.lo());
-        assert_eq!(out, vec![dbox((1, 49), (1, 100)), dbox((81, 200), (1, 100))]);
+        assert_eq!(
+            out,
+            vec![dbox((1, 49), (1, 100)), dbox((81, 200), (1, 100))]
+        );
         assert_eq!(stats.new_forked, 1);
         m.check_invariants().unwrap();
     }

@@ -202,9 +202,9 @@ impl MultiPlacementStructure {
     /// uncovered space.
     #[must_use]
     pub fn instantiate_compacted(&self, dims: &[(Coord, Coord)]) -> Option<Placement> {
-        self.query(dims).and_then(|id| self.entry(id)).map(|e| {
-            SequencePair::from_placement(&e.placement, &e.best_dims).pack(dims)
-        })
+        self.query(dims)
+            .and_then(|id| self.entry(id))
+            .map(|e| SequencePair::from_placement(&e.placement, &e.best_dims).pack(dims))
     }
 
     /// [`Self::instantiate_compacted`] with template fallback in uncovered
@@ -290,8 +290,9 @@ impl MultiPlacementStructure {
                 .ranges()
                 .iter()
                 .zip(new_box.ranges())
-                .all(|(old, new)| old.w.contains_interval(&new.w)
-                    && old.h.contains_interval(&new.h)),
+                .all(
+                    |(old, new)| old.w.contains_interval(&new.w) && old.h.contains_interval(&new.h)
+                ),
             "shrink must not grow the box"
         );
         let old_box = std::mem::replace(&mut entry.dims_box, new_box.clone());
@@ -344,10 +345,7 @@ impl MultiPlacementStructure {
             .unwrap_or_default()
             .into_iter()
             .map(PlacementId)
-            .filter(|&id| {
-                self.entry(id)
-                    .is_some_and(|e| e.dims_box.overlaps(probe))
-            })
+            .filter(|&id| self.entry(id).is_some_and(|e| e.dims_box.overlaps(probe)))
             .collect()
     }
 
@@ -378,16 +376,15 @@ impl MultiPlacementStructure {
     /// Returns a description of the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, (wr, hr)) in self.w_rows.iter().zip(&self.h_rows).enumerate() {
-            wr.check_invariants().map_err(|e| format!("w_row {i}: {e}"))?;
-            hr.check_invariants().map_err(|e| format!("h_row {i}: {e}"))?;
+            wr.check_invariants()
+                .map_err(|e| format!("w_row {i}: {e}"))?;
+            hr.check_invariants()
+                .map_err(|e| format!("h_row {i}: {e}"))?;
         }
         let live: Vec<(PlacementId, &StoredPlacement)> = self.iter().collect();
         for &(id, entry) in &live {
             for (i, r) in entry.dims_box.ranges().iter().enumerate() {
-                for (row, iv, label) in [
-                    (&self.w_rows[i], r.w, "w"),
-                    (&self.h_rows[i], r.h, "h"),
-                ] {
+                for (row, iv, label) in [(&self.w_rows[i], r.w, "w"), (&self.h_rows[i], r.h, "h")] {
                     let ranges = row.ranges_of(id.0);
                     if ranges != vec![iv] {
                         return Err(format!(
@@ -442,9 +439,7 @@ mod tests {
         avg: f64,
     ) -> StoredPlacement {
         StoredPlacement {
-            placement: Placement::new(
-                coords.iter().map(|&(x, y)| Point::new(x, y)).collect(),
-            ),
+            placement: Placement::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()),
             dims_box: DimsBox::new(
                 box_ranges
                     .iter()

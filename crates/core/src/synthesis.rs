@@ -21,7 +21,7 @@ use mps_netlist::modgen::SizingModel;
 use mps_netlist::Circuit;
 use mps_placer::CostCalculator;
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 use std::cell::{Cell, RefCell};
 use std::time::{Duration, Instant};
 
@@ -265,10 +265,7 @@ mod tests {
     use crate::{GeneratorConfig, MpsGenerator};
     use mps_netlist::benchmarks;
 
-    fn quick_mps(
-        bm: &benchmarks::Benchmark,
-        seed: u64,
-    ) -> MultiPlacementStructure {
+    fn quick_mps(bm: &benchmarks::Benchmark, seed: u64) -> MultiPlacementStructure {
         MpsGenerator::new(
             &bm.circuit,
             GeneratorConfig::builder()

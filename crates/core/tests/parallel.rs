@@ -1,0 +1,181 @@
+//! Regression suite for parallel multi-start generation: the determinism
+//! contract (thread count never changes the result), the Eq.-5
+//! disjointness invariant across merges, and the coverage guarantee
+//! against the single-start baseline.
+
+use mps_core::{GeneratorConfig, MpsGenerator, MultiPlacementStructure};
+use mps_netlist::benchmarks::{self, random_circuit};
+use proptest::prelude::*;
+
+fn config(starts: usize, threads: usize, seed: u64) -> GeneratorConfig {
+    GeneratorConfig::builder()
+        .outer_iterations(40)
+        .inner_iterations(40)
+        .num_starts(starts)
+        .threads(threads)
+        .seed(seed)
+        .build()
+}
+
+/// Bit-level equality of two structures: same live entries in the same
+/// order with identical boxes, coordinates and costs.
+fn assert_identical(a: &MultiPlacementStructure, b: &MultiPlacementStructure) {
+    assert_eq!(a.placement_count(), b.placement_count(), "placement count");
+    assert_eq!(a.floorplan(), b.floorplan(), "floorplan");
+    assert_eq!(
+        a.coverage().to_bits(),
+        b.coverage().to_bits(),
+        "coverage must match to the bit"
+    );
+    let (ea, eb): (Vec<_>, Vec<_>) = (a.iter().collect(), b.iter().collect());
+    for ((ia, pa), (ib, pb)) in ea.iter().zip(&eb) {
+        assert_eq!(ia, ib, "entry ids diverge");
+        assert_eq!(pa.dims_box, pb.dims_box, "{ia:?}: validity boxes diverge");
+        assert_eq!(pa.placement, pb.placement, "{ia:?}: coordinates diverge");
+        assert_eq!(
+            pa.avg_cost.to_bits(),
+            pb.avg_cost.to_bits(),
+            "{ia:?}: avg cost diverges"
+        );
+        assert_eq!(
+            pa.best_cost.to_bits(),
+            pb.best_cost.to_bits(),
+            "{ia:?}: best cost diverges"
+        );
+        assert_eq!(pa.best_dims, pb.best_dims, "{ia:?}: best dims diverge");
+    }
+}
+
+#[test]
+fn thread_count_never_changes_the_structure() {
+    let circuit = benchmarks::circ01();
+    let (serial, rs) = MpsGenerator::new(&circuit, config(4, 1, 9))
+        .generate_with_report()
+        .unwrap();
+    for threads in [2, 4, 0] {
+        let (parallel, rp) = MpsGenerator::new(&circuit, config(4, threads, 9))
+            .generate_with_report()
+            .unwrap();
+        assert_identical(&serial, &parallel);
+        assert_eq!(rs.explorer, rp.explorer, "aggregate counters diverge");
+        assert_eq!(rs.per_start, rp.per_start, "per-start counters diverge");
+        assert_eq!(rs.placements, rp.placements);
+    }
+}
+
+#[test]
+fn multi_start_repeats_exactly_for_a_fixed_seed() {
+    let circuit = benchmarks::circ02();
+    let a = MpsGenerator::new(&circuit, config(3, 0, 5))
+        .generate()
+        .unwrap();
+    let b = MpsGenerator::new(&circuit, config(3, 0, 5))
+        .generate()
+        .unwrap();
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn merged_structures_keep_every_invariant() {
+    let circuit = benchmarks::two_stage_opamp();
+    let mps = MpsGenerator::new(&circuit, config(4, 0, 11))
+        .generate()
+        .unwrap();
+    mps.check_invariants().unwrap();
+    assert!(mps.placement_count() > 0);
+    assert!(mps.fallback().is_some(), "generator installs the fallback");
+    // Fallback still serves the whole space after a merge.
+    for dims in [circuit.min_dims(), circuit.max_dims()] {
+        assert!(mps.instantiate_or_fallback(&dims).is_legal(&dims, None));
+    }
+}
+
+#[test]
+fn more_starts_never_lose_coverage_at_fixed_budget() {
+    // Start 0 of a multi-start run walks the exact same trajectory as the
+    // single-start run (same seed); the merge can only add disjoint
+    // regions on top or replace regions with cheaper winners. Coverage at
+    // the same per-start budget must therefore not regress — the
+    // acceptance criterion of the parallel subsystem.
+    let circuit = benchmarks::circ01();
+    let single = MpsGenerator::new(&circuit, config(1, 1, 3))
+        .generate()
+        .unwrap();
+    let multi = MpsGenerator::new(&circuit, config(4, 4, 3))
+        .generate()
+        .unwrap();
+    assert!(
+        multi.coverage() >= single.coverage(),
+        "coverage regressed: {} starts {} vs 1 start {}",
+        4,
+        multi.coverage(),
+        single.coverage()
+    );
+}
+
+#[test]
+fn single_start_reports_one_start() {
+    let circuit = benchmarks::circ01();
+    let (_, report) = MpsGenerator::new(&circuit, config(1, 1, 2))
+        .generate_with_report()
+        .unwrap();
+    assert_eq!(report.starts, 1);
+    assert_eq!(report.per_start, vec![report.explorer]);
+}
+
+#[test]
+fn multi_start_aggregates_per_start_counters() {
+    let circuit = benchmarks::circ01();
+    let (mps, report) = MpsGenerator::new(&circuit, config(3, 0, 7))
+        .generate_with_report()
+        .unwrap();
+    assert_eq!(report.starts, 3);
+    assert_eq!(report.per_start.len(), 3);
+    // Exploration counters sum over the starts.
+    let proposals: usize = report.per_start.iter().map(|s| s.proposals).sum();
+    assert_eq!(report.explorer.proposals, proposals);
+    let accepted: usize = report.per_start.iter().map(|s| s.accepted).sum();
+    assert_eq!(report.explorer.accepted, accepted);
+    // Store/resolve counters describe the merge pass building the
+    // returned structure: every live entry was inserted there once.
+    assert!(report.explorer.boxes_stored >= mps.placement_count());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The merge preserves Eq. 5 for arbitrary circuits, start counts and
+    /// thread counts: every pair of merged validity boxes stays disjoint
+    /// (checked explicitly on top of `check_invariants`, which also
+    /// verifies rows and legality).
+    #[test]
+    fn merged_validity_boxes_stay_pairwise_disjoint(
+        seed in 0u64..50_000,
+        blocks in 2usize..6,
+        nets in 2usize..7,
+        starts in 2usize..5,
+        threads in 0usize..3,
+    ) {
+        let circuit = random_circuit(blocks, nets, seed);
+        let cfg = GeneratorConfig::builder()
+            .outer_iterations(20)
+            .inner_iterations(20)
+            .num_starts(starts)
+            .threads(threads)
+            .seed(seed)
+            .build();
+        let mps = MpsGenerator::new(&circuit, cfg)
+            .generate()
+            .expect("random circuits validate");
+        let live: Vec<_> = mps.iter().collect();
+        for (i, (ia, a)) in live.iter().enumerate() {
+            for (ib, b) in &live[i + 1..] {
+                prop_assert!(
+                    !a.dims_box.overlaps(&b.dims_box),
+                    "{ia:?} and {ib:?} overlap after merging {starts} starts"
+                );
+            }
+        }
+        mps.check_invariants().map_err(TestCaseError::fail)?;
+    }
+}

@@ -10,7 +10,7 @@ use mps_core::{GeneratorConfig, MpsGenerator};
 use mps_netlist::benchmarks::random_circuit;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]

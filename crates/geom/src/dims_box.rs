@@ -127,7 +127,10 @@ impl DimsBox {
     #[must_use]
     pub fn point(dims: &[(Coord, Coord)]) -> Self {
         Self {
-            ranges: dims.iter().map(|&(w, h)| BlockRanges::point(w, h)).collect(),
+            ranges: dims
+                .iter()
+                .map(|&(w, h)| BlockRanges::point(w, h))
+                .collect(),
         }
     }
 
@@ -175,7 +178,11 @@ impl DimsBox {
     /// Panics if `dims.len() != self.block_count()`.
     #[must_use]
     pub fn contains(&self, dims: &[(Coord, Coord)]) -> bool {
-        assert_eq!(dims.len(), self.ranges.len(), "dimension vector length mismatch");
+        assert_eq!(
+            dims.len(),
+            self.ranges.len(),
+            "dimension vector length mismatch"
+        );
         self.ranges
             .iter()
             .zip(dims)
@@ -190,7 +197,11 @@ impl DimsBox {
     /// Panics if the boxes have different block counts.
     #[must_use]
     pub fn overlaps(&self, other: &DimsBox) -> bool {
-        assert_eq!(self.ranges.len(), other.ranges.len(), "block count mismatch");
+        assert_eq!(
+            self.ranges.len(),
+            other.ranges.len(),
+            "block count mismatch"
+        );
         self.ranges
             .iter()
             .zip(&other.ranges)
@@ -204,7 +215,11 @@ impl DimsBox {
     /// Panics if the boxes have different block counts.
     #[must_use]
     pub fn intersect(&self, other: &DimsBox) -> Option<DimsBox> {
-        assert_eq!(self.ranges.len(), other.ranges.len(), "block count mismatch");
+        assert_eq!(
+            self.ranges.len(),
+            other.ranges.len(),
+            "block count mismatch"
+        );
         let mut ranges = Vec::with_capacity(self.ranges.len());
         for (a, b) in self.ranges.iter().zip(&other.ranges) {
             ranges.push(BlockRanges::new(a.w.intersect(&b.w)?, a.h.intersect(&b.h)?));
@@ -306,10 +321,16 @@ impl DimsBox {
         }
         for (i, (r, b)) in self.ranges.iter().zip(bounds).enumerate() {
             if !b.w.contains_interval(&r.w) {
-                return Err(format!("block {i} width {:?} outside bounds {:?}", r.w, b.w));
+                return Err(format!(
+                    "block {i} width {:?} outside bounds {:?}",
+                    r.w, b.w
+                ));
             }
             if !b.h.contains_interval(&r.h) {
-                return Err(format!("block {i} height {:?} outside bounds {:?}", r.h, b.h));
+                return Err(format!(
+                    "block {i} height {:?} outside bounds {:?}",
+                    r.h, b.h
+                ));
             }
         }
         Ok(())
@@ -386,7 +407,13 @@ mod tests {
         //           b1.w -> [98,100] (3),  b1.h -> [40,60] (21)
         let b = DimsBox::new(vec![br(50, 200, 0, 150), br(98, 130, 40, 60)]);
         let (dim, overlap) = a.smallest_overlap_dim(&b).unwrap();
-        assert_eq!(dim, DimIndex { block: 1, axis: Axis::Width });
+        assert_eq!(
+            dim,
+            DimIndex {
+                block: 1,
+                axis: Axis::Width
+            }
+        );
         assert_eq!(overlap, Interval::new(98, 100));
     }
 
@@ -400,7 +427,10 @@ mod tests {
     #[test]
     fn subtract_along_edge_shrinks() {
         let a = DimsBox::new(vec![br(0, 10, 0, 10)]);
-        let dim = DimIndex { block: 0, axis: Axis::Width };
+        let dim = DimIndex {
+            block: 0,
+            axis: Axis::Width,
+        };
         let out = a.subtract_along(dim, Interval::new(7, 12));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].along(dim), Interval::new(0, 6));
@@ -411,7 +441,10 @@ mod tests {
     #[test]
     fn subtract_along_interior_forks() {
         let a = DimsBox::new(vec![br(0, 10, 0, 10)]);
-        let dim = DimIndex { block: 0, axis: Axis::Height };
+        let dim = DimIndex {
+            block: 0,
+            axis: Axis::Height,
+        };
         let out = a.subtract_along(dim, Interval::new(4, 6));
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].along(dim), Interval::new(0, 3));
@@ -423,7 +456,10 @@ mod tests {
     #[test]
     fn subtract_along_covering_annihilates() {
         let a = DimsBox::new(vec![br(3, 5, 0, 10)]);
-        let dim = DimIndex { block: 0, axis: Axis::Width };
+        let dim = DimIndex {
+            block: 0,
+            axis: Axis::Width,
+        };
         assert!(a.subtract_along(dim, Interval::new(0, 9)).is_empty());
     }
 

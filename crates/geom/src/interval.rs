@@ -41,7 +41,11 @@ pub struct TryNewIntervalError {
 
 impl fmt::Display for TryNewIntervalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "interval lower bound {} exceeds upper bound {}", self.lo, self.hi)
+        write!(
+            f,
+            "interval lower bound {} exceeds upper bound {}",
+            self.lo, self.hi
+        )
     }
 }
 
@@ -56,7 +60,10 @@ impl Interval {
     /// construction.
     #[must_use]
     pub fn new(lo: Coord, hi: Coord) -> Self {
-        assert!(lo <= hi, "interval lower bound {lo} exceeds upper bound {hi}");
+        assert!(
+            lo <= hi,
+            "interval lower bound {lo} exceeds upper bound {hi}"
+        );
         Self { lo, hi }
     }
 
@@ -277,7 +284,10 @@ mod tests {
         assert!(Interval::try_new(5, 4).is_err());
         assert_eq!(Interval::try_new(4, 4), Ok(Interval::point(4)));
         let err = Interval::try_new(7, 2).unwrap_err();
-        assert_eq!(err.to_string(), "interval lower bound 7 exceeds upper bound 2");
+        assert_eq!(
+            err.to_string(),
+            "interval lower bound 7 exceeds upper bound 2"
+        );
     }
 
     #[test]

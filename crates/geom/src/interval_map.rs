@@ -44,7 +44,9 @@ pub struct IntervalMap<T = u32> {
 
 impl<T> Default for IntervalMap<T> {
     fn default() -> Self {
-        Self { segments: Vec::new() }
+        Self {
+            segments: Vec::new(),
+        }
     }
 }
 
@@ -74,10 +76,7 @@ impl<T: Copy + Ord> IntervalMap<T> {
     /// the sorted interval list, O(log segments).
     #[must_use]
     pub fn query(&self, v: Coord) -> &[T] {
-        match self
-            .segments
-            .binary_search_by(|(iv, _)| iv.lo().cmp(&v))
-        {
+        match self.segments.binary_search_by(|(iv, _)| iv.lo().cmp(&v)) {
             Ok(idx) => &self.segments[idx].1,
             Err(0) => &[],
             Err(idx) => {
@@ -109,10 +108,7 @@ impl<T: Copy + Ord> IntervalMap<T> {
     }
 
     /// Iterates over `(interval, indices)` segments intersecting `range`.
-    pub fn overlapping_segments(
-        &self,
-        range: Interval,
-    ) -> impl Iterator<Item = (&Interval, &[T])> {
+    pub fn overlapping_segments(&self, range: Interval) -> impl Iterator<Item = (&Interval, &[T])> {
         // First segment that could overlap: the one containing range.lo or
         // the first starting after it.
         let start = match self
@@ -270,17 +266,13 @@ impl<T: Copy + Ord> IntervalMap<T> {
     /// Index of the first segment whose interval starts at or after `v`,
     /// assuming boundaries have been split so no segment straddles `v`.
     fn first_segment_at_or_after(&self, v: Coord) -> usize {
-        self.segments
-            .partition_point(|(iv, _)| iv.lo() < v)
+        self.segments.partition_point(|(iv, _)| iv.lo() < v)
     }
 
     /// Ensures no segment spans the boundary between `v - 1` and `v`: any
     /// segment containing both is split into `[lo, v-1]` and `[v, hi]`.
     fn split_boundary(&mut self, v: Coord) {
-        let idx = match self
-            .segments
-            .binary_search_by(|(iv, _)| iv.lo().cmp(&v))
-        {
+        let idx = match self.segments.binary_search_by(|(iv, _)| iv.lo().cmp(&v)) {
             Ok(_) => return, // already starts exactly at v
             Err(0) => return,
             Err(i) => i - 1,
@@ -505,8 +497,7 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let mut row: IntervalMap<u32> =
-            [(iv(0, 5), 1), (iv(3, 8), 2)].into_iter().collect();
+        let mut row: IntervalMap<u32> = [(iv(0, 5), 1), (iv(3, 8), 2)].into_iter().collect();
         row.extend([(iv(10, 11), 3)]);
         assert_eq!(row.query(4), &[1, 2]);
         assert_eq!(row.query(10), &[3]);

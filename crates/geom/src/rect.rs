@@ -41,7 +41,10 @@ impl Rect {
     /// Panics if `w <= 0` or `h <= 0`; blocks always have positive extent.
     #[must_use]
     pub fn new(origin: Point, w: Coord, h: Coord) -> Self {
-        assert!(w > 0 && h > 0, "rectangle dimensions must be positive (got {w}x{h})");
+        assert!(
+            w > 0 && h > 0,
+            "rectangle dimensions must be positive (got {w}x{h})"
+        );
         Self { origin, w, h }
     }
 
@@ -173,7 +176,11 @@ impl Rect {
     /// Returns a copy translated by `(dx, dy)`.
     #[must_use]
     pub fn translated(&self, dx: Coord, dy: Coord) -> Rect {
-        Rect::new(Point::new(self.origin.x + dx, self.origin.y + dy), self.w, self.h)
+        Rect::new(
+            Point::new(self.origin.x + dx, self.origin.y + dy),
+            self.w,
+            self.h,
+        )
     }
 
     /// Returns a copy with the same origin and new dimensions.

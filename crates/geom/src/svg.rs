@@ -89,7 +89,13 @@ pub fn render(blocks: &[LabelledRect], pixel_width: u32) -> String {
         let _ = write!(
             out,
             r#"<text x="{}" y="{}" font-size="{font}" text-anchor="middle" transform="translate({},{}) scale(1,-1) translate({},{})">{}</text>"#,
-            0, 0, c.x, c.y, -c.x, -c.y, xml_escape(&b.label)
+            0,
+            0,
+            c.x,
+            c.y,
+            -c.x,
+            -c.y,
+            xml_escape(&b.label)
         );
     }
     out.push_str("</g></svg>");
@@ -97,7 +103,9 @@ pub fn render(blocks: &[LabelledRect], pixel_width: u32) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

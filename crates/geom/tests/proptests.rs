@@ -8,7 +8,8 @@ fn interval() -> impl Strategy<Value = Interval> {
 }
 
 fn rect() -> impl Strategy<Value = Rect> {
-    (-50i64..50, -50i64..50, 1i64..40, 1i64..40).prop_map(|(x, y, w, h)| Rect::from_xywh(x, y, w, h))
+    (-50i64..50, -50i64..50, 1i64..40, 1i64..40)
+        .prop_map(|(x, y, w, h)| Rect::from_xywh(x, y, w, h))
 }
 
 proptest! {
@@ -164,9 +165,15 @@ proptest! {
 // random suite would otherwise have to rediscover.
 #[test]
 fn subtract_along_regression_point_cut() {
-    let b = DimsBox::new(vec![BlockRanges::new(Interval::new(0, 0), Interval::new(0, 5))]);
+    let b = DimsBox::new(vec![BlockRanges::new(
+        Interval::new(0, 0),
+        Interval::new(0, 5),
+    )]);
     let pieces = b.subtract_along(
-        DimIndex { block: 0, axis: mps_geom::Axis::Width },
+        DimIndex {
+            block: 0,
+            axis: mps_geom::Axis::Width,
+        },
         Interval::point(0),
     );
     assert!(pieces.is_empty());

@@ -28,7 +28,7 @@ use crate::modgen::{
 use crate::{Block, BlockId, Circuit, Net, Pad, PadSide, Pin};
 use mps_geom::Coord;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// A benchmark: the circuit plus the sizing model that drives it during
 /// synthesis-loop experiments.
@@ -247,10 +247,16 @@ pub fn two_stage_opamp_with_model() -> (Circuit, SizingModel) {
         Net::connecting("first_out", &[b(0), b(1), b(3)]).with_weight(2.0),
         Net::connecting("tail", &[b(0), b(2), b(1)]),
         // 2-pin nets: 5 × 2 = 10 terminals. Total 22.
-        Net::new("inp", vec![Pin::at(b(0), 0.1, 0.5), Pin::at(b(2), 0.5, 0.9)])
-            .with_weight(2.0),
-        Net::new("inn", vec![Pin::at(b(0), 0.9, 0.5), Pin::at(b(1), 0.5, 0.1)])
-            .with_weight(2.0),
+        Net::new(
+            "inp",
+            vec![Pin::at(b(0), 0.1, 0.5), Pin::at(b(2), 0.5, 0.9)],
+        )
+        .with_weight(2.0),
+        Net::new(
+            "inn",
+            vec![Pin::at(b(0), 0.9, 0.5), Pin::at(b(1), 0.5, 0.1)],
+        )
+        .with_weight(2.0),
         Net::connecting("comp", &[b(3), b(4)]).with_weight(1.5),
         Net::connecting("mirror", &[b(1), b(2)]),
         Net::connecting("out", &[b(3), b(4)])
@@ -373,12 +379,7 @@ pub fn circ08_with_model() -> (Circuit, SizingModel) {
     ];
     // Eight 3-pin nets in a ring: net k connects blocks k, k+1, k+2 (mod 8).
     let nets = (0..8)
-        .map(|k| {
-            Net::connecting(
-                format!("n{k}"),
-                &[b(k), b((k + 1) % 8), b((k + 2) % 8)],
-            )
-        })
+        .map(|k| Net::connecting(format!("n{k}"), &[b(k), b((k + 1) % 8), b((k + 2) % 8)]))
         .collect();
     assemble(
         "circ08",
@@ -431,8 +432,7 @@ pub fn tso_cascode_with_model() -> (Circuit, SizingModel) {
     for slice in 0..3usize {
         let base = slice * 6;
         nets.push(
-            Net::connecting(format!("s{slice}_casc"), &[b(base), b(base + 1)])
-                .with_weight(1.5),
+            Net::connecting(format!("s{slice}_casc"), &[b(base), b(base + 1)]).with_weight(1.5),
         );
         nets.push(Net::connecting(
             format!("s{slice}_fold"),
@@ -607,7 +607,9 @@ mod tests {
     #[test]
     fn all_benchmarks_validate() {
         for bm in all() {
-            bm.circuit.validate().unwrap_or_else(|e| panic!("{}: {e}", bm.name));
+            bm.circuit
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", bm.name));
         }
     }
 
@@ -656,7 +658,11 @@ mod tests {
         assert_eq!(singles, 26);
         for n in c.nets() {
             if n.terminal_count() == 1 {
-                assert!(n.pad().is_some(), "single-terminal net {} needs a pad", n.name());
+                assert!(
+                    n.pad().is_some(),
+                    "single-terminal net {} needs a pad",
+                    n.name()
+                );
             }
         }
     }

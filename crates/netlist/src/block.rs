@@ -78,7 +78,10 @@ impl Block {
         h_min: Coord,
         h_max: Coord,
     ) -> Self {
-        assert!(w_min > 0 && h_min > 0, "minimum dimensions must be positive");
+        assert!(
+            w_min > 0 && h_min > 0,
+            "minimum dimensions must be positive"
+        );
         assert!(w_min <= w_max, "w_min {w_min} exceeds w_max {w_max}");
         assert!(h_min <= h_max, "h_min {h_min} exceeds h_max {h_max}");
         Self {
@@ -139,7 +142,10 @@ impl Block {
     /// module generators saturate at the designer limits.
     #[must_use]
     pub fn clamp_dims(&self, w: Coord, h: Coord) -> (Coord, Coord) {
-        (w.clamp(self.w_min, self.w_max), h.clamp(self.h_min, self.h_max))
+        (
+            w.clamp(self.w_min, self.w_max),
+            h.clamp(self.h_min, self.h_max),
+        )
     }
 
     /// Whether `(w, h)` lies within bounds.

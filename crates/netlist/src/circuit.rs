@@ -24,7 +24,11 @@ impl fmt::Display for ValidateCircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidateCircuitError::NoBlocks => write!(f, "circuit has no blocks"),
-            ValidateCircuitError::PinBlockOutOfRange { net, block, block_count } => write!(
+            ValidateCircuitError::PinBlockOutOfRange {
+                net,
+                block,
+                block_count,
+            } => write!(
                 f,
                 "net `{net}` references {block} but the circuit has only {block_count} blocks"
             ),
@@ -203,7 +207,11 @@ impl Circuit {
     /// Panics if `dims.len() != self.block_count()`.
     #[must_use]
     pub fn clamp_dims(&self, dims: &[(Coord, Coord)]) -> Vec<(Coord, Coord)> {
-        assert_eq!(dims.len(), self.blocks.len(), "dimension vector length mismatch");
+        assert_eq!(
+            dims.len(),
+            self.blocks.len(),
+            "dimension vector length mismatch"
+        );
         self.blocks
             .iter()
             .zip(dims)
@@ -218,7 +226,11 @@ impl Circuit {
     /// Panics if `dims.len() != self.block_count()`.
     #[must_use]
     pub fn admits_dims(&self, dims: &[(Coord, Coord)]) -> bool {
-        assert_eq!(dims.len(), self.blocks.len(), "dimension vector length mismatch");
+        assert_eq!(
+            dims.len(),
+            self.blocks.len(),
+            "dimension vector length mismatch"
+        );
         self.blocks
             .iter()
             .zip(dims)
@@ -238,7 +250,10 @@ impl Circuit {
     /// Panics if `slack < 1.0`.
     #[must_use]
     pub fn suggested_floorplan(&self, slack: f64) -> Rect {
-        assert!(slack >= 1.0, "floorplan slack must be at least 1.0, got {slack}");
+        assert!(
+            slack >= 1.0,
+            "floorplan slack must be at least 1.0, got {slack}"
+        );
         let total_area: f64 = self
             .blocks
             .iter()
@@ -360,7 +375,11 @@ mod tests {
             .build()
             .unwrap_err();
         match err {
-            ValidateCircuitError::PinBlockOutOfRange { net, block, block_count } => {
+            ValidateCircuitError::PinBlockOutOfRange {
+                net,
+                block,
+                block_count,
+            } => {
                 assert_eq!(net, "n");
                 assert_eq!(block, BlockId(5));
                 assert_eq!(block_count, 1);

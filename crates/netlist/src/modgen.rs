@@ -334,7 +334,11 @@ impl SizingModel {
     /// Panics if `params.len() != self.block_count()`.
     #[must_use]
     pub fn dims(&self, params: &[f64]) -> Vec<(Coord, Coord)> {
-        assert_eq!(params.len(), self.generators.len(), "parameter vector length mismatch");
+        assert_eq!(
+            params.len(),
+            self.generators.len(),
+            "parameter vector length mismatch"
+        );
         self.generators
             .iter()
             .zip(params)
@@ -394,7 +398,10 @@ mod tests {
     #[test]
     fn diff_pair_is_wider_than_single() {
         let m = MosfetGenerator::default();
-        let d = DiffPairGenerator { mosfet: m, matching_margin: 2 };
+        let d = DiffPairGenerator {
+            mosfet: m,
+            matching_margin: 2,
+        };
         let (wm, hm) = m.dims(200.0);
         let (wd, hd) = d.dims(200.0);
         assert_eq!(hd, hm);
@@ -413,7 +420,10 @@ mod tests {
 
     #[test]
     fn capacitor_aspect_skews_footprint() {
-        let wide = CapacitorGenerator { aspect: 4.0, ..CapacitorGenerator::default() };
+        let wide = CapacitorGenerator {
+            aspect: 4.0,
+            ..CapacitorGenerator::default()
+        };
         let (w, h) = wide.dims(1_000.0);
         assert!(w > h);
     }

@@ -27,8 +27,14 @@ impl PinOffset {
     /// Panics if either fraction is outside `[0, 1]` or not finite.
     #[must_use]
     pub fn new(fx: f32, fy: f32) -> Self {
-        assert!(fx.is_finite() && (0.0..=1.0).contains(&fx), "fx out of [0,1]: {fx}");
-        assert!(fy.is_finite() && (0.0..=1.0).contains(&fy), "fy out of [0,1]: {fy}");
+        assert!(
+            fx.is_finite() && (0.0..=1.0).contains(&fx),
+            "fx out of [0,1]: {fx}"
+        );
+        assert!(
+            fy.is_finite() && (0.0..=1.0).contains(&fy),
+            "fy out of [0,1]: {fy}"
+        );
         Self { fx, fy }
     }
 
@@ -126,7 +132,10 @@ impl Pad {
     /// Panics if `frac` is outside `[0, 1]` or not finite.
     #[must_use]
     pub fn new(side: PadSide, frac: f32) -> Self {
-        assert!(frac.is_finite() && (0.0..=1.0).contains(&frac), "frac out of [0,1]: {frac}");
+        assert!(
+            frac.is_finite() && (0.0..=1.0).contains(&frac),
+            "frac out of [0,1]: {frac}"
+        );
         Self { side, frac }
     }
 
@@ -168,7 +177,10 @@ impl Net {
     /// influence placement.
     #[must_use]
     pub fn new(name: impl Into<String>, pins: Vec<Pin>) -> Self {
-        assert!(!pins.is_empty(), "a net must connect at least one block pin");
+        assert!(
+            !pins.is_empty(),
+            "a net must connect at least one block pin"
+        );
         Self {
             name: name.into(),
             pins,
@@ -184,10 +196,7 @@ impl Net {
     /// Panics if `blocks` is empty.
     #[must_use]
     pub fn connecting(name: impl Into<String>, blocks: &[BlockId]) -> Self {
-        Self::new(
-            name,
-            blocks.iter().map(|&b| Pin::center_of(b)).collect(),
-        )
+        Self::new(name, blocks.iter().map(|&b| Pin::center_of(b)).collect())
     }
 
     /// Adds an external pad to the net (builder style).
@@ -204,7 +213,10 @@ impl Net {
     /// Panics if `weight` is not finite or is negative.
     #[must_use]
     pub fn with_weight(mut self, weight: f64) -> Self {
-        assert!(weight.is_finite() && weight >= 0.0, "invalid net weight {weight}");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "invalid net weight {weight}"
+        );
         self.weight = weight;
         self
     }
@@ -273,8 +285,14 @@ mod tests {
     fn pad_locations_per_side() {
         let bb = Rect::from_xywh(0, 0, 100, 40);
         assert_eq!(Pad::new(PadSide::Left, 0.5).locate(&bb), Point::new(0, 20));
-        assert_eq!(Pad::new(PadSide::Right, 0.0).locate(&bb), Point::new(100, 0));
-        assert_eq!(Pad::new(PadSide::Bottom, 1.0).locate(&bb), Point::new(100, 0));
+        assert_eq!(
+            Pad::new(PadSide::Right, 0.0).locate(&bb),
+            Point::new(100, 0)
+        );
+        assert_eq!(
+            Pad::new(PadSide::Bottom, 1.0).locate(&bb),
+            Point::new(100, 0)
+        );
         assert_eq!(Pad::new(PadSide::Top, 0.25).locate(&bb), Point::new(25, 40));
     }
 

@@ -23,7 +23,7 @@
 use crate::Placement;
 use mps_geom::{Coord, Point};
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 
 /// One node of the B*-tree: indices into the node arena (`usize::MAX`
 /// encodes "no child"; private, never exposed).
@@ -240,9 +240,21 @@ impl BStarTree {
         for i in 0..n {
             let src = old[perm[i]];
             self.nodes[i] = Node {
-                left: if src.left == NONE { NONE } else { perm[src.left] },
-                right: if src.right == NONE { NONE } else { perm[src.right] },
-                parent: if src.parent == NONE { NONE } else { perm[src.parent] },
+                left: if src.left == NONE {
+                    NONE
+                } else {
+                    perm[src.left]
+                },
+                right: if src.right == NONE {
+                    NONE
+                } else {
+                    perm[src.right]
+                },
+                parent: if src.parent == NONE {
+                    NONE
+                } else {
+                    perm[src.parent]
+                },
             };
         }
         if self.root == a {
@@ -448,8 +460,16 @@ mod tests {
         let mut tree = BStarTree::chain(3);
         tree.nodes[0].left = NONE;
         tree.nodes[0].right = 1;
-        tree.nodes[1] = Node { left: NONE, right: 2, parent: 0 };
-        tree.nodes[2] = Node { left: NONE, right: NONE, parent: 1 };
+        tree.nodes[1] = Node {
+            left: NONE,
+            right: 2,
+            parent: 0,
+        };
+        tree.nodes[2] = Node {
+            left: NONE,
+            right: NONE,
+            parent: 1,
+        };
         let dims = [(10, 5), (10, 5), (10, 5)];
         let p = tree.pack(&dims);
         assert_eq!(p.coords()[1].y, 5);

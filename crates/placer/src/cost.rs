@@ -211,9 +211,7 @@ impl<'a> CostCalculator<'a> {
             out_of_bounds_area: self
                 .floorplan
                 .map_or(0.0, |fp| placement.out_of_bounds_area(dims, &fp) as f64),
-            symmetry: self
-                .symmetry
-                .map_or(0.0, |s| s.deviation(placement, dims)),
+            symmetry: self.symmetry.map_or(0.0, |s| s.deviation(placement, dims)),
         }
     }
 

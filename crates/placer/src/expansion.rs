@@ -94,7 +94,9 @@ pub fn expand_placement(
         if !r.fits_inside(floorplan) {
             return false;
         }
-        (0..n).filter(|&j| j != i).all(|j| !r.overlaps(&placement.rect(j, end_dims)))
+        (0..n)
+            .filter(|&j| j != i)
+            .all(|j| !r.overlaps(&placement.rect(j, end_dims)))
     };
 
     let mut any_active = true;
@@ -104,7 +106,11 @@ pub fn expand_placement(
             let block = &circuit.blocks()[i];
             for (axis, max_dim) in [(0usize, block.max_width()), (1, block.max_height())] {
                 while steps[i][axis] > 0 {
-                    let current = if axis == 0 { end_dims[i].0 } else { end_dims[i].1 };
+                    let current = if axis == 0 {
+                        end_dims[i].0
+                    } else {
+                        end_dims[i].1
+                    };
                     if current >= max_dim {
                         steps[i][axis] = 0;
                         break;
@@ -219,11 +225,8 @@ mod tests {
             .collect();
         let p = Placement::new(coords);
         if let Ok(dbox) = expand_placement(&c, &p, &fp, &ExpansionConfig::default()) {
-            let end: Vec<(Coord, Coord)> = dbox
-                .ranges()
-                .iter()
-                .map(|r| (r.w.hi(), r.h.hi()))
-                .collect();
+            let end: Vec<(Coord, Coord)> =
+                dbox.ranges().iter().map(|r| (r.w.hi(), r.h.hi())).collect();
             assert!(p.is_legal(&end, Some(&fp)));
         }
     }

@@ -82,7 +82,11 @@ impl Placement {
     /// Panics if `dims.len() != self.block_count()`.
     #[must_use]
     pub fn rects(&self, dims: &[(Coord, Coord)]) -> Vec<Rect> {
-        assert_eq!(dims.len(), self.coords.len(), "dimension vector length mismatch");
+        assert_eq!(
+            dims.len(),
+            self.coords.len(),
+            "dimension vector length mismatch"
+        );
         self.coords
             .iter()
             .zip(dims)
@@ -267,10 +271,7 @@ mod tests {
         let bb = n.bounding_box(&dims2()).unwrap();
         assert_eq!(bb.origin(), Point::origin());
         // Relative geometry preserved.
-        assert_eq!(
-            n.coords()[1] - n.coords()[0],
-            p.coords()[1] - p.coords()[0]
-        );
+        assert_eq!(n.coords()[1] - n.coords()[0], p.coords()[1] - p.coords()[0]);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::Placement;
 use mps_geom::{Coord, Point};
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 
 /// A sequence pair over `n` blocks.
 ///
@@ -126,7 +126,11 @@ impl SequencePair {
     /// Panics if `dims.len() != placement.block_count()`.
     #[must_use]
     pub fn from_placement(placement: &Placement, dims: &[(Coord, Coord)]) -> Self {
-        assert_eq!(dims.len(), placement.block_count(), "dimension arity mismatch");
+        assert_eq!(
+            dims.len(),
+            placement.block_count(),
+            "dimension arity mismatch"
+        );
         let n = placement.block_count();
         let center = |i: usize| {
             let (w, h) = dims[i];
@@ -165,7 +169,9 @@ impl SequencePair {
     }
 
     fn index_in(&self, seq: &[usize], block: usize) -> usize {
-        seq.iter().position(|&x| x == block).expect("block in sequence")
+        seq.iter()
+            .position(|&x| x == block)
+            .expect("block in sequence")
     }
 
     /// Packs the pair into the minimal placement honouring all relations:
@@ -365,8 +371,7 @@ mod tests {
                 1 => sp.swap_negative(&mut rng),
                 _ => sp.swap_both(&mut rng),
             }
-            let rebuilt =
-                SequencePair::new(sp.positive().to_vec(), sp.negative().to_vec());
+            let rebuilt = SequencePair::new(sp.positive().to_vec(), sp.negative().to_vec());
             assert!(rebuilt.is_some(), "move corrupted the pair: {sp:?}");
         }
     }

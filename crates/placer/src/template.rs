@@ -154,7 +154,11 @@ mod tests {
         assert!(small.is_legal(&c.min_dims(), None));
         assert!(large.is_legal(&c.max_dims(), None));
         let t2 = Template::expert_default(&c, 3);
-        assert_eq!(t.seqpair(), t2.seqpair(), "expert template is deterministic");
+        assert_eq!(
+            t.seqpair(),
+            t2.seqpair(),
+            "expert template is deterministic"
+        );
         let _ = order;
     }
 
@@ -185,11 +189,7 @@ mod tests {
     #[test]
     fn from_placement_freezes_arrangement() {
         let dims = [(10, 10), (10, 10), (10, 10)];
-        let p = Placement::new(vec![
-            Point::new(0, 0),
-            Point::new(15, 0),
-            Point::new(0, 15),
-        ]);
+        let p = Placement::new(vec![Point::new(0, 0), Point::new(15, 0), Point::new(0, 15)]);
         let t = Template::from_placement(&p, &dims);
         let inst = t.instantiate(&dims);
         assert!(inst.is_legal(&dims, None));

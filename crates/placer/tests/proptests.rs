@@ -3,12 +3,11 @@
 use mps_geom::{Coord, Rect};
 use mps_netlist::benchmarks::random_circuit;
 use mps_placer::{
-    expand_placement, BStarTree, CostCalculator, ExpansionConfig, Placement, SequencePair,
-    Template,
+    expand_placement, BStarTree, CostCalculator, ExpansionConfig, Placement, SequencePair, Template,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

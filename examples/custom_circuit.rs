@@ -13,6 +13,9 @@ use analog_mps::netlist::modgen::{
 };
 use analog_mps::netlist::{Circuit, Net, Pad, PadSide};
 use analog_mps::placer::{CostWeights, SymmetryConstraints, SymmetryGroup};
+#[path = "shared/effort.rs"]
+mod shared;
+use shared::effort;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Blocks from module generators -----------------------------
@@ -54,8 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..CostWeights::default()
     };
     let config = GeneratorConfig::builder()
-        .outer_iterations(400)
-        .inner_iterations(120)
+        .outer_iterations(((400.0 * effort()) as usize).max(10))
+        .inner_iterations(((120.0 * effort()) as usize).max(10))
         .weights(weights)
         .seed(3)
         .build();
@@ -68,9 +71,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 4. Persist and reload (generate once, use everywhere) --------
-    let json = serde_json::to_string(&mps)?;
-    println!("serialized structure: {} bytes", json.len());
-    let reloaded: MultiPlacementStructure = serde_json::from_str(&json)?;
+    // JSON persistence sits behind the `serde` feature, which needs the
+    // real serde/serde_json crates (unavailable in offline builds). The
+    // reload path is exercised with a clone when the feature is off.
+    #[cfg(feature = "serde")]
+    let reloaded: MultiPlacementStructure = {
+        let json = serde_json::to_string(&mps)?;
+        println!("serialized structure: {} bytes", json.len());
+        serde_json::from_str(&json)?
+    };
+    #[cfg(not(feature = "serde"))]
+    let reloaded: MultiPlacementStructure = mps.clone();
     reloaded.check_invariants().map_err(std::io::Error::other)?;
 
     // --- 5. Query the reloaded structure -------------------------------

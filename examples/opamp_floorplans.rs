@@ -12,6 +12,9 @@ use analog_mps::geom::{Coord, Rect};
 use analog_mps::mps::{GeneratorConfig, MpsGenerator};
 use analog_mps::netlist::benchmarks;
 use analog_mps::placer::{CostCalculator, Placement, Template};
+#[path = "shared/effort.rs"]
+mod shared;
+use shared::effort;
 
 /// Renders a floorplan as ASCII art (blocks shown by their index letter).
 fn ascii_floorplan(placement: &Placement, dims: &[(Coord, Coord)], cols: usize) -> String {
@@ -57,8 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let config = GeneratorConfig::builder()
-        .outer_iterations(600)
-        .inner_iterations(150)
+        .outer_iterations(((600.0 * effort()) as usize).max(10))
+        .inner_iterations(((150.0 * effort()) as usize).max(10))
         .seed(2005)
         .build();
     let mps = MpsGenerator::new(&circuit, config).generate()?;
@@ -70,10 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     entries.sort_by(|a, b| a.1.best_cost.total_cmp(&b.1.best_cost));
     let mut shown = Vec::new();
     for (_, entry) in entries {
-        if shown
-            .iter()
-            .all(|p: &Placement| *p != entry.placement)
-        {
+        if shown.iter().all(|p: &Placement| *p != entry.placement) {
             shown.push(entry.placement.clone());
             let dims = entry.best_dims.clone();
             let placement = mps.instantiate_or_fallback(&dims);

@@ -1,0 +1,11 @@
+//! Shared by every example via `#[path = "shared/effort.rs"]`: the
+//! budget multiplier the CI smoke test uses to run examples quickly
+//! (`MPS_EXAMPLE_EFFORT=0.05 cargo run --example ...`).
+
+/// The `MPS_EXAMPLE_EFFORT` budget multiplier (default 1.0).
+pub fn effort() -> f64 {
+    std::env::var("MPS_EXAMPLE_EFFORT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}

@@ -10,6 +10,9 @@
 
 use analog_mps::mps::{GeneratorConfig, MpsGenerator, PerformanceModel, SynthesisLoop};
 use analog_mps::netlist::benchmarks;
+#[path = "shared/effort.rs"]
+mod shared;
+use shared::effort;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bm = benchmarks::by_name("SingleEnded Opamp").expect("known benchmark");
@@ -17,8 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One-time structure generation for the topology.
     let config = GeneratorConfig::builder()
-        .outer_iterations(500)
-        .inner_iterations(120)
+        .outer_iterations(((500.0 * effort()) as usize).max(10))
+        .inner_iterations(((120.0 * effort()) as usize).max(10))
         .seed(7)
         .build();
     let (mps, report) = MpsGenerator::new(&bm.circuit, config).generate_with_report()?;
@@ -31,13 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // placement instantiation. The paper's point is that this inner query
     // must cost microseconds, not the seconds a fresh SA placement run
     // would take — otherwise layout-inclusive sizing is infeasible.
-    let synthesis = SynthesisLoop::new(&bm.circuit, &bm.model, &mps).with_performance(
-        PerformanceModel {
+    let synthesis =
+        SynthesisLoop::new(&bm.circuit, &bm.model, &mps).with_performance(PerformanceModel {
             sizing_reward: 2_000.0,
             layout_penalty: 1.0,
-        },
-    );
-    let outcome = synthesis.run(2_000, 1);
+        });
+    let outcome = synthesis.run(((2_000.0 * effort()) as usize).max(50), 1);
 
     println!("queries issued:           {}", outcome.queries);
     println!(

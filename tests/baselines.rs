@@ -6,7 +6,7 @@ use analog_mps::mps::{GeneratorConfig, MpsGenerator};
 use analog_mps::netlist::benchmarks;
 use analog_mps::placer::{CostCalculator, SaPlacer, SaPlacerConfig, Template};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 fn random_dims(circuit: &analog_mps::netlist::Circuit, rng: &mut StdRng) -> Vec<(Coord, Coord)> {

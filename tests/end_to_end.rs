@@ -6,7 +6,7 @@ use analog_mps::mps::{GeneratorConfig, MpsGenerator, SynthesisLoop};
 use analog_mps::netlist::benchmarks;
 use analog_mps::placer::CostCalculator;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 fn quick(outer: usize, inner: usize, seed: u64) -> GeneratorConfig {
     GeneratorConfig::builder()

@@ -1,0 +1,45 @@
+//! Workspace smoke test: every shipped example must build and run to
+//! completion. Budgets are scaled down via `MPS_EXAMPLE_EFFORT` so the
+//! whole sweep stays in CI territory — the point is exercising each
+//! example's full code path (generation, instantiation, reporting), not
+//! its full annealing budget.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["run", "-q", "-p", "analog-mps", "--example", name])
+        .current_dir(manifest_dir)
+        .env("MPS_EXAMPLE_EFFORT", "0.05")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn opamp_floorplans_runs() {
+    run_example("opamp_floorplans");
+}
+
+#[test]
+fn custom_circuit_runs() {
+    run_example("custom_circuit");
+}
+
+#[test]
+fn synthesis_loop_runs() {
+    run_example("synthesis_loop");
+}

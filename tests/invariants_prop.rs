@@ -157,7 +157,7 @@ fn analog_mps_random_dims(
     circuit: &analog_mps::netlist::Circuit,
     rng: &mut StdRng,
 ) -> Vec<(Coord, Coord)> {
-    use rand::RngExt;
+    use rand::Rng;
     circuit
         .dim_bounds()
         .iter()

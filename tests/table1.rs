@@ -29,7 +29,12 @@ fn table1_rows_match_the_paper() {
 #[test]
 fn every_benchmark_has_a_complete_sizing_model() {
     for bm in benchmarks::all() {
-        assert_eq!(bm.model.block_count(), bm.circuit.block_count(), "{}", bm.name);
+        assert_eq!(
+            bm.model.block_count(),
+            bm.circuit.block_count(),
+            "{}",
+            bm.name
+        );
         bm.circuit.validate().expect("benchmark circuits validate");
         // Every block is reachable from some net (no floating modules in
         // the cost function except via area).

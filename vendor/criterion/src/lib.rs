@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the criterion API its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`SamplingMode`] and
+//! [`BatchSize`]. Measurements are simple wall-clock means over the
+//! configured sample count — good enough to compare orders of magnitude
+//! and spot regressions, without criterion's statistics or HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How samples are scheduled. Accepted for API compatibility; the
+/// stand-in always measures flat samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Criterion's automatic choice.
+    Auto,
+    /// Same work per sample.
+    Flat,
+    /// Work grows linearly per sample.
+    Linear,
+}
+
+/// Batch sizing for [`Bencher::iter_batched`]. Accepted for API
+/// compatibility; the stand-in always runs one setup per measured call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id built from a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Drives the measured closures of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock duration of one routine call, filled by the `iter*`
+    /// methods.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then timed samples.
+        let _ = std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            let _ = std::hint::black_box(routine());
+        }
+        self.measured = Some(start.elapsed() / self.samples as u32);
+    }
+
+    /// Measures `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let _ = std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.measured = Some(total / self.samples as u32);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility (the stand-in is always flat).
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (the stand-in runs a fixed sample
+    /// count rather than a time budget).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.criterion.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.id, bencher.measured);
+        self
+    }
+
+    /// Ends the group (printing is immediate; this is a no-op for
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver. Mirrors criterion's entry type.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        report("", id, bencher.measured);
+        self
+    }
+}
+
+fn report(group: &str, id: &str, measured: Option<Duration>) {
+    let label = if group.is_empty() {
+        id.to_owned()
+    } else {
+        format!("{group}/{id}")
+    };
+    match measured {
+        Some(d) => println!("bench {label:<40} {d:>12.2?} /iter"),
+        None => println!("bench {label:<40} (no measurement)"),
+    }
+}
+
+/// Re-export so existing `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .sampling_mode(SamplingMode::Flat)
+            .measurement_time(Duration::from_millis(1));
+        group.bench_function(BenchmarkId::from_parameter("direct"), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_bencher_run() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}
