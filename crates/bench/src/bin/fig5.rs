@@ -3,18 +3,21 @@
 //! template-based instantiation (c). SVGs are written to `out/`.
 
 use mps_bench::{
-    effort_from_args, floorplan_svg, parallel_from_args, scaled_config, write_artifact,
+    effort_from_args, floorplan_svg, obtain_structure, parallel_from_args, persist_from_args,
+    scaled_config, write_artifact,
 };
-use mps_core::MpsGenerator;
 use mps_netlist::benchmarks;
 use mps_placer::Template;
 
 fn main() {
     let circuit = benchmarks::two_stage_opamp();
     let config = parallel_from_args(scaled_config(&circuit, effort_from_args(), 55));
-    let mps = MpsGenerator::new(&circuit, config)
-        .generate()
-        .expect("benchmark circuit is valid");
+    let (mps, _) = obtain_structure(
+        "fig5_two_stage_opamp",
+        &circuit,
+        config,
+        &persist_from_args(),
+    );
     eprintln!("structure holds {} placements", mps.placement_count());
 
     // Pick two stored placements with genuinely different arrangements and

@@ -2,17 +2,15 @@
 //! 21-module `tso-cascode` benchmark. SVG written to `out/`.
 
 use mps_bench::{
-    effort_from_args, floorplan_svg, parallel_from_args, scaled_config, write_artifact,
+    effort_from_args, floorplan_svg, obtain_structure, parallel_from_args, persist_from_args,
+    scaled_config, write_artifact,
 };
-use mps_core::MpsGenerator;
 use mps_netlist::benchmarks;
 
 fn main() {
     let circuit = benchmarks::tso_cascode();
     let config = parallel_from_args(scaled_config(&circuit, effort_from_args(), 77));
-    let mps = MpsGenerator::new(&circuit, config)
-        .generate()
-        .expect("benchmark circuit is valid");
+    let (mps, _) = obtain_structure("fig7_tso_cascode", &circuit, config, &persist_from_args());
     eprintln!("structure holds {} placements", mps.placement_count());
 
     // Draw the best stored placement at its best dimensions.

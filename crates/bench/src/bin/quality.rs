@@ -9,9 +9,9 @@
 //! between SA cost and template cost (closer to SA).
 
 use mps_bench::{
-    effort_from_args, fmt_duration, markdown_table, parallel_from_args, random_dims, scaled_config,
+    effort_from_args, fmt_duration, markdown_table, obtain_structure, parallel_from_args,
+    persist_from_args, random_dims, scaled_config,
 };
-use mps_core::MpsGenerator;
 use mps_netlist::benchmarks;
 use mps_placer::{CostCalculator, SaPlacer, SaPlacerConfig, Template};
 use rand::rngs::StdRng;
@@ -20,17 +20,18 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let effort = effort_from_args();
+    let persist = persist_from_args();
     let queries = 8;
     let mut rows = Vec::new();
     for bm in benchmarks::all() {
         let circuit = &bm.circuit;
         let calc = CostCalculator::new(circuit);
-        let mps = MpsGenerator::new(
+        let (mps, _) = obtain_structure(
+            bm.name,
             circuit,
             parallel_from_args(scaled_config(circuit, effort, 11)),
-        )
-        .generate()
-        .expect("valid circuit");
+            &persist,
+        );
         let template = Template::expert_default(circuit, 6);
         let sa = SaPlacer::new(
             circuit,

@@ -9,41 +9,59 @@
 //! land in the same tens-to-hundreds band.
 
 use mps_bench::{
-    effort_from_args, fmt_duration, markdown_table, parallel_from_args, scaled_config,
-    table2_row_with,
+    effort_from_args, fmt_duration, markdown_table, measure_instantiation, obtain_structure,
+    parallel_from_args, persist_from_args, scaled_config, StructureSource,
 };
 use mps_netlist::benchmarks;
 
 fn main() {
     let effort = effort_from_args();
+    let persist = persist_from_args();
     let queries = 1_000;
     eprintln!("generating multi-placement structures (effort {effort}) ...");
     let mut rows = Vec::new();
     for bm in benchmarks::all() {
         let config = parallel_from_args(scaled_config(&bm.circuit, effort, 2005));
-        let row = table2_row_with(&bm, config, queries, 2005);
-        let ex = &row.report.explorer;
-        eprintln!(
-            "  {:<18} {:>9}  {:>4} placements  coverage {:>5.1}%  inst {}  \
-             [proposals {} rejected {} stored {} shrunk {} forked {} annihilated {}]",
-            row.name,
-            fmt_duration(row.generation),
-            row.placements,
-            100.0 * row.coverage,
-            fmt_duration(row.mean_instantiation),
-            ex.proposals,
-            ex.rejected_illegal,
-            ex.boxes_stored,
-            ex.stored_shrunk,
-            ex.stored_forked,
-            ex.stored_annihilated,
-        );
+        let (mps, source) = obtain_structure(bm.name, &bm.circuit, config, &persist);
+        let mean_instantiation = measure_instantiation(&bm.circuit, &mps, queries, 2005 ^ 0xABCD);
+        let generation = match &source {
+            StructureSource::Generated(report) => {
+                let ex = &report.explorer;
+                eprintln!(
+                    "  {:<18} {:>9}  {:>4} placements  coverage {:>5.1}%  inst {}  \
+                     [proposals {} rejected {} stored {} shrunk {} forked {} annihilated {}]",
+                    bm.name,
+                    fmt_duration(report.duration),
+                    report.placements,
+                    100.0 * report.coverage,
+                    fmt_duration(mean_instantiation),
+                    ex.proposals,
+                    ex.rejected_illegal,
+                    ex.boxes_stored,
+                    ex.stored_shrunk,
+                    ex.stored_forked,
+                    ex.stored_annihilated,
+                );
+                fmt_duration(report.duration)
+            }
+            StructureSource::Loaded(path) => {
+                eprintln!(
+                    "  {:<18} loaded     {:>4} placements  coverage {:>5.1}%  inst {}  [{}]",
+                    bm.name,
+                    mps.placement_count(),
+                    100.0 * mps.coverage(),
+                    fmt_duration(mean_instantiation),
+                    path.display(),
+                );
+                "loaded".to_owned()
+            }
+        };
         rows.push(vec![
-            row.name.clone(),
-            fmt_duration(row.generation),
-            row.placements.to_string(),
-            format!("{:.1}%", 100.0 * row.coverage),
-            fmt_duration(row.mean_instantiation),
+            bm.name.to_owned(),
+            generation,
+            mps.placement_count().to_string(),
+            format!("{:.1}%", 100.0 * mps.coverage()),
+            fmt_duration(mean_instantiation),
         ]);
     }
     println!("\nTable 2: Usage and Generation of the Multi-Placement Structures");

@@ -301,6 +301,119 @@ pub fn parallel_from_args(mut config: GeneratorConfig) -> GeneratorConfig {
     config
 }
 
+/// The `--save DIR` / `--load DIR` persistence knobs shared by every
+/// structure-generating binary: `--load` skips regeneration and reads the
+/// structure from `DIR/<circuit>.mps.json`; `--save` writes each generated
+/// structure there for later `--load` runs (the paper's generate-once /
+/// use-everywhere workflow across processes).
+#[derive(Debug, Clone, Default)]
+pub struct PersistArgs {
+    /// Directory to load pre-generated structures from.
+    pub load: Option<std::path::PathBuf>,
+    /// Directory to save generated structures into.
+    pub save: Option<std::path::PathBuf>,
+}
+
+/// Parses the optional `--load DIR` and `--save DIR` CLI flags.
+#[must_use]
+pub fn persist_from_args() -> PersistArgs {
+    PersistArgs {
+        load: arg_value::<std::path::PathBuf>("load"),
+        save: arg_value::<std::path::PathBuf>("save"),
+    }
+}
+
+/// Where [`obtain_structure`] stores / finds the structure for a circuit.
+#[must_use]
+pub fn structure_path(dir: &std::path::Path, name: &str) -> std::path::PathBuf {
+    dir.join(format!("{name}.mps.json"))
+}
+
+/// How [`obtain_structure`] came by its structure.
+#[derive(Debug)]
+pub enum StructureSource {
+    /// Freshly generated; the report carries timing and explorer counters.
+    Generated(mps_core::GenerationReport),
+    /// Loaded (and invariant-revalidated) from this file; no generation
+    /// happened.
+    Loaded(std::path::PathBuf),
+}
+
+/// Generates the structure for `name`/`circuit` under `config`, honoring
+/// the [`PersistArgs`] knobs: with `--load` the structure is read from
+/// disk instead (validated against the `mps-v1` envelope, the Eq.-5
+/// invariants, *and* the circuit's dimension bounds); with `--save` the
+/// generated structure is written out for future `--load` runs.
+///
+/// # Panics
+///
+/// Exits with an error message when a `--load` file is missing, malformed
+/// or belongs to a different circuit, and panics on invalid benchmark
+/// circuits or unwritable `--save` directories — measurement runs have no
+/// useful recovery.
+#[cfg(feature = "serde")]
+#[must_use]
+pub fn obtain_structure(
+    name: &str,
+    circuit: &Circuit,
+    config: GeneratorConfig,
+    args: &PersistArgs,
+) -> (MultiPlacementStructure, StructureSource) {
+    if let Some(dir) = &args.load {
+        let path = structure_path(dir, name);
+        let mps = match MultiPlacementStructure::load_json(&path) {
+            Ok(mps) => mps,
+            Err(e) => {
+                eprintln!("error: cannot load structure {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        if mps.bounds() != circuit.dim_bounds() {
+            eprintln!(
+                "error: structure {} was generated for a different circuit \
+                 than `{name}` (dimension bounds differ)",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+        return (mps, StructureSource::Loaded(path));
+    }
+    let (mps, report) = MpsGenerator::new(circuit, config)
+        .generate_with_report()
+        .expect("benchmark circuits are valid");
+    if let Some(dir) = &args.save {
+        std::fs::create_dir_all(dir).expect("create --save directory");
+        let path = structure_path(dir, name);
+        mps.save_json(&path).expect("write structure file");
+        eprintln!("  saved {}", path.display());
+    }
+    (mps, StructureSource::Generated(report))
+}
+
+/// Without the `serde` feature there is no persistence layer; the flags
+/// are rejected instead of silently ignored.
+#[cfg(not(feature = "serde"))]
+#[must_use]
+pub fn obtain_structure(
+    name: &str,
+    circuit: &Circuit,
+    config: GeneratorConfig,
+    args: &PersistArgs,
+) -> (MultiPlacementStructure, StructureSource) {
+    if args.load.is_some() || args.save.is_some() {
+        eprintln!(
+            "error: --load/--save require mps-bench to be built with the \
+             `serde` feature (on by default)"
+        );
+        std::process::exit(2);
+    }
+    let _ = name;
+    let (mps, report) = MpsGenerator::new(circuit, config)
+        .generate_with_report()
+        .expect("benchmark circuits are valid");
+    (mps, StructureSource::Generated(report))
+}
+
 /// Ensures `out/` exists and writes a file into it, returning the path.
 ///
 /// # Panics

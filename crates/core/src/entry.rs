@@ -7,7 +7,6 @@ use std::fmt;
 /// Index of a placement inside a [`crate::MultiPlacementStructure`] — the
 /// numbers stored in the `Arr(i, n)` arrays of Fig. 3.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PlacementId(pub u32);
 
 impl PlacementId {
@@ -40,7 +39,6 @@ impl fmt::Display for PlacementId {
 /// the placement is overlap-free inside the floorplan with every block at
 /// its box's upper corner — hence everywhere in the box.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StoredPlacement {
     /// Block coordinates on the floorplan.
     pub placement: Placement,
@@ -64,6 +62,69 @@ impl StoredPlacement {
     #[must_use]
     pub fn covers(&self, dims: &[(Coord, Coord)]) -> bool {
         self.dims_box.contains(dims)
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Error, Map, Serialize, Value};
+
+    impl Serialize for PlacementId {
+        fn to_value(&self) -> Value {
+            self.0.to_value()
+        }
+    }
+
+    impl Deserialize for PlacementId {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            u32::from_value(value).map(PlacementId)
+        }
+    }
+
+    impl Serialize for StoredPlacement {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("placement", self.placement.to_value());
+            map.insert("dims_box", self.dims_box.to_value());
+            map.insert("avg_cost", self.avg_cost.to_value());
+            map.insert("best_cost", self.best_cost.to_value());
+            map.insert("best_dims", self.best_dims.to_value());
+            Value::Object(map)
+        }
+    }
+
+    // Hand-written so the cross-field arity invariants hold on load: the
+    // coordinate vector, validity box and best-dims vector must all agree
+    // on the block count, and the recorded costs must be finite.
+    impl Deserialize for StoredPlacement {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let field = |name: &str| {
+                value.get(name).ok_or_else(|| {
+                    Error::custom(format!("missing field `{name}` in StoredPlacement"))
+                })
+            };
+            let entry = StoredPlacement {
+                placement: Deserialize::from_value(field("placement")?)?,
+                dims_box: Deserialize::from_value(field("dims_box")?)?,
+                avg_cost: f64::from_value(field("avg_cost")?)?,
+                best_cost: f64::from_value(field("best_cost")?)?,
+                best_dims: Deserialize::from_value(field("best_dims")?)?,
+            };
+            let n = entry.placement.block_count();
+            if entry.dims_box.block_count() != n || entry.best_dims.len() != n {
+                return Err(Error::custom(format!(
+                    "StoredPlacement arity mismatch: {} coords, {}-block box, {} best dims",
+                    n,
+                    entry.dims_box.block_count(),
+                    entry.best_dims.len()
+                )));
+            }
+            if !entry.avg_cost.is_finite() || !entry.best_cost.is_finite() {
+                return Err(Error::custom("StoredPlacement costs must be finite"));
+            }
+            Ok(entry)
+        }
     }
 }
 

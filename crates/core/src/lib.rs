@@ -54,6 +54,8 @@ mod entry;
 mod explorer;
 mod generator;
 pub mod parallel;
+#[cfg(feature = "serde")]
+mod persist;
 mod resolve;
 mod structure;
 mod synthesis;
@@ -65,5 +67,7 @@ pub use explorer::{ExplorerConfig, ExplorerStats};
 pub use generator::{
     GenerateError, GenerationReport, GeneratorConfig, GeneratorConfigBuilder, MpsGenerator,
 };
+#[cfg(feature = "serde")]
+pub use persist::{PersistError, FORMAT as PERSIST_FORMAT};
 pub use structure::MultiPlacementStructure;
 pub use synthesis::{PerformanceModel, SynthesisLoop, SynthesisOutcome};

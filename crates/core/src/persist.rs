@@ -1,0 +1,312 @@
+//! Versioned on-disk persistence of the multi-placement structure.
+//!
+//! The paper's economic argument (Fig. 1) is *generate once, use
+//! everywhere*: the expensive nested-annealing generation amortizes only
+//! if the resulting [`MultiPlacementStructure`] survives the process that
+//! built it. This module wraps the structure in a versioned JSON envelope
+//!
+//! ```json
+//! {"format": "mps-v1", "structure": { ... }}
+//! ```
+//!
+//! and loads it back through [`MultiPlacementStructure::from_json`], which
+//! follows a validate-don't-trust discipline: the format tag must match,
+//! every field-level invariant is re-checked during decoding, and the full
+//! Eq.-5 invariant battery ([`MultiPlacementStructure::check_invariants`])
+//! re-runs before the structure is handed to the caller. Malformed,
+//! wrong-version, wrong-arity or overlap-violating input yields a typed
+//! [`PersistError`] — never a panic and never a silently corrupt
+//! structure.
+
+use crate::MultiPlacementStructure;
+use std::fmt;
+use std::path::Path;
+
+/// The on-disk format identifier this build writes and accepts.
+///
+/// Bump only with a migration path: structures saved under other tags are
+/// rejected by [`MultiPlacementStructure::from_json`] with
+/// [`PersistError::WrongFormat`].
+pub const FORMAT: &str = "mps-v1";
+
+/// Why loading a persisted structure failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The input is not syntactically valid JSON, or the JSON does not
+    /// decode into a structurally coherent structure.
+    Decode(serde_json::Error),
+    /// The envelope is valid JSON but not an `{"format": ..., "structure":
+    /// ...}` object.
+    Envelope(String),
+    /// The envelope carries a format tag other than [`FORMAT`].
+    WrongFormat {
+        /// The tag found in the input.
+        found: String,
+    },
+    /// The structure decoded but violates the Eq.-5 invariants (overlap,
+    /// row inconsistency, illegal placement, out-of-bounds box).
+    Invariant(String),
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Decode(e) => write!(f, "malformed structure JSON: {e}"),
+            PersistError::Envelope(e) => write!(f, "invalid persistence envelope: {e}"),
+            PersistError::WrongFormat { found } => write!(
+                f,
+                "unsupported structure format `{found}` (this build reads `{FORMAT}`)"
+            ),
+            PersistError::Invariant(e) => {
+                write!(f, "loaded structure violates invariants: {e}")
+            }
+            PersistError::Io(e) => write!(f, "structure file I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Decode(e) => Some(e),
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Decode(e)
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl MultiPlacementStructure {
+    fn envelope(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        map.insert("format", serde_json::Value::String(FORMAT.to_owned()));
+        map.insert("structure", serde_json::to_value(self));
+        serde_json::Value::Object(map)
+    }
+
+    /// Serializes the structure into the compact versioned `mps-v1`
+    /// envelope.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.envelope()).expect("value trees always serialize")
+    }
+
+    /// Serializes the structure into the human-readable (2-space-indented)
+    /// versioned `mps-v1` envelope. This is the committed golden-fixture
+    /// format: deterministic field order, shortest-round-trip floats.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.envelope()).expect("value trees always serialize")
+    }
+
+    /// Loads a structure from its versioned JSON envelope, re-validating
+    /// everything: syntax, format tag, field invariants, and the full
+    /// Eq.-5 battery of [`MultiPlacementStructure::check_invariants`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on malformed JSON, a missing or foreign
+    /// format tag, structurally incoherent fields (wrong arity, dead row
+    /// references, inverted intervals, …) or violated placement
+    /// invariants (overlapping validity boxes, illegal placements).
+    pub fn from_json(json: &str) -> Result<Self, PersistError> {
+        let envelope = serde_json::parse(json)?;
+        let Some(obj) = envelope.as_object() else {
+            return Err(PersistError::Envelope(format!(
+                "expected a JSON object, found {}",
+                envelope.kind()
+            )));
+        };
+        let format = obj
+            .get("format")
+            .ok_or_else(|| PersistError::Envelope("missing `format` tag".to_owned()))?;
+        let Some(format) = format.as_str() else {
+            return Err(PersistError::Envelope(
+                "`format` tag must be a string".to_owned(),
+            ));
+        };
+        if format != FORMAT {
+            return Err(PersistError::WrongFormat {
+                found: format.to_owned(),
+            });
+        }
+        let structure = obj
+            .get("structure")
+            .ok_or_else(|| PersistError::Envelope("missing `structure` member".to_owned()))?;
+        let mps: MultiPlacementStructure = serde_json::from_value(structure)?;
+        mps.check_invariants().map_err(PersistError::Invariant)?;
+        Ok(mps)
+    }
+
+    /// Writes the compact envelope to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] when the file cannot be written.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Reads and validates a structure from a file written by
+    /// [`MultiPlacementStructure::save_json`] (or any valid `mps-v1`
+    /// envelope).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on I/O failure or any of the
+    /// [`MultiPlacementStructure::from_json`] rejection cases.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoredPlacement;
+    use mps_geom::{BlockRanges, DimsBox, Interval, Point, Rect};
+    use mps_netlist::{Block, Circuit};
+    use mps_placer::Placement;
+
+    fn sample_structure() -> MultiPlacementStructure {
+        let c = Circuit::builder("persist-test")
+            .block(Block::new("A", 10, 100, 10, 100))
+            .block(Block::new("B", 10, 100, 10, 100))
+            .net_connecting("n", &[0, 1])
+            .build()
+            .unwrap();
+        let mut mps = MultiPlacementStructure::new(&c, Rect::from_xywh(0, 0, 400, 400));
+        mps.insert_unchecked(StoredPlacement {
+            placement: Placement::new(vec![Point::new(0, 0), Point::new(60, 0)]),
+            dims_box: DimsBox::new(vec![
+                BlockRanges::new(Interval::new(10, 50), Interval::new(10, 50)),
+                BlockRanges::new(Interval::new(10, 50), Interval::new(10, 50)),
+            ]),
+            avg_cost: 10.0,
+            best_cost: 8.0,
+            best_dims: vec![(10, 10), (10, 10)],
+        });
+        mps
+    }
+
+    #[test]
+    fn envelope_roundtrips() {
+        let mps = sample_structure();
+        let json = mps.to_json();
+        assert!(json.starts_with("{\"format\":\"mps-v1\""));
+        let back = MultiPlacementStructure::from_json(&json).unwrap();
+        assert_eq!(back.placement_count(), 1);
+        assert_eq!(back.floorplan(), mps.floorplan());
+        assert_eq!(
+            back.query(&[(20, 20), (20, 20)]),
+            mps.query(&[(20, 20), (20, 20)])
+        );
+    }
+
+    #[test]
+    fn pretty_and_compact_agree() {
+        let mps = sample_structure();
+        let a = MultiPlacementStructure::from_json(&mps.to_json()).unwrap();
+        let b = MultiPlacementStructure::from_json(&mps.to_json_pretty()).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn wrong_format_is_rejected() {
+        let mps = sample_structure();
+        let json = mps.to_json().replace("mps-v1", "mps-v0");
+        match MultiPlacementStructure::from_json(&json) {
+            Err(PersistError::WrongFormat { found }) => assert_eq!(found, "mps-v0"),
+            other => panic!("expected WrongFormat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_envelope_members_are_rejected() {
+        assert!(matches!(
+            MultiPlacementStructure::from_json("{}"),
+            Err(PersistError::Envelope(_))
+        ));
+        assert!(matches!(
+            MultiPlacementStructure::from_json("[1,2]"),
+            Err(PersistError::Envelope(_))
+        ));
+        assert!(matches!(
+            MultiPlacementStructure::from_json("{\"format\":\"mps-v1\"}"),
+            Err(PersistError::Envelope(_))
+        ));
+        assert!(matches!(
+            MultiPlacementStructure::from_json("{\"format\":1,\"structure\":{}}"),
+            Err(PersistError::Envelope(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_json_is_rejected() {
+        let json = sample_structure().to_json();
+        for cut in [1, json.len() / 4, json.len() / 2, json.len() - 1] {
+            assert!(
+                matches!(
+                    MultiPlacementStructure::from_json(&json[..cut]),
+                    Err(PersistError::Decode(_))
+                ),
+                "truncation at {cut} must fail cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_boxes_are_rejected_on_load() {
+        let mut mps = sample_structure();
+        // A second entry whose validity box overlaps the first: violates
+        // Eq. 5. insert_unchecked accepts it, from_json must not.
+        mps.insert_unchecked(StoredPlacement {
+            placement: Placement::new(vec![Point::new(0, 0), Point::new(0, 120)]),
+            dims_box: DimsBox::new(vec![
+                BlockRanges::new(Interval::new(40, 80), Interval::new(10, 50)),
+                BlockRanges::new(Interval::new(10, 50), Interval::new(10, 50)),
+            ]),
+            avg_cost: 20.0,
+            best_cost: 15.0,
+            best_dims: vec![(40, 10), (10, 10)],
+        });
+        assert!(matches!(
+            MultiPlacementStructure::from_json(&mps.to_json()),
+            Err(PersistError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn io_errors_surface() {
+        assert!(matches!(
+            MultiPlacementStructure::load_json("/nonexistent/path/to/structure.json"),
+            Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_through_a_file() {
+        let mps = sample_structure();
+        let path =
+            std::env::temp_dir().join(format!("mps_persist_unit_test_{}.json", std::process::id()));
+        mps.save_json(&path).unwrap();
+        let back = MultiPlacementStructure::load_json(&path).unwrap();
+        assert_eq!(back.to_json(), mps.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -39,7 +39,6 @@ use mps_placer::{Placement, SequencePair, Template};
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MultiPlacementStructure {
     /// Per-block designer dimension bounds (the coverage space).
     bounds: Vec<BlockRanges>,
@@ -171,9 +170,18 @@ impl MultiPlacementStructure {
             .map(|e| e.placement.clone())
     }
 
-    /// Instantiates for `dims`, falling back to the backup template (or a
-    /// trivial row arrangement when none is installed) in uncovered space.
-    /// Always returns a legal placement for in-bounds dimension vectors.
+    /// Instantiates for `dims`, falling back to the backup template in
+    /// uncovered space. Always returns a legal placement for in-bounds
+    /// dimension vectors.
+    ///
+    /// When **no** fallback template is installed (a freshly generated or
+    /// freshly loaded structure that never saw
+    /// [`MultiPlacementStructure::set_fallback`]), uncovered space is
+    /// served by the canonical single-row packing
+    /// `SequencePair::row(n).pack(dims)`. That choice is a pure function
+    /// of `dims`, so the answer is deterministic across processes and
+    /// across save/load cycles — a reloaded structure without a template
+    /// answers every probe exactly like the structure that was saved.
     ///
     /// # Panics
     ///
@@ -415,6 +423,104 @@ impl MultiPlacementStructure {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Error, Map, Serialize, Value};
+
+    impl Serialize for MultiPlacementStructure {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("bounds", self.bounds.to_value());
+            map.insert("floorplan", self.floorplan.to_value());
+            // live_count is derived from `entries` and recomputed on load.
+            map.insert("entries", self.entries.to_value());
+            map.insert("w_rows", self.w_rows.to_value());
+            map.insert("h_rows", self.h_rows.to_value());
+            map.insert("fallback", self.fallback.to_value());
+            Value::Object(map)
+        }
+    }
+
+    // Hand-written: beyond field decoding, the structural frame must be
+    // coherent before any method can safely run — non-empty bounds, one
+    // row pair per block, per-entry arity agreement, and no row index
+    // pointing at a dead or missing entry. The full Eq.-5 / legality
+    // check is `check_invariants()`, which the `mps-v1` envelope loader
+    // (`MultiPlacementStructure::from_json`) runs on top of this.
+    impl Deserialize for MultiPlacementStructure {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let field = |name: &str| {
+                value.get(name).ok_or_else(|| {
+                    Error::custom(format!("missing field `{name}` in MultiPlacementStructure"))
+                })
+            };
+            let bounds: Vec<BlockRanges> = Deserialize::from_value(field("bounds")?)?;
+            let floorplan = Rect::from_value(field("floorplan")?)?;
+            let entries: Vec<Option<StoredPlacement>> = Deserialize::from_value(field("entries")?)?;
+            let w_rows: Vec<IntervalMap<u32>> = Deserialize::from_value(field("w_rows")?)?;
+            let h_rows: Vec<IntervalMap<u32>> = Deserialize::from_value(field("h_rows")?)?;
+            let fallback: Option<Template> = Deserialize::from_value(field("fallback")?)?;
+
+            let n = bounds.len();
+            if n == 0 {
+                return Err(Error::custom("structure must cover at least one block"));
+            }
+            if w_rows.len() != n || h_rows.len() != n {
+                return Err(Error::custom(format!(
+                    "row count mismatch: {n} blocks but {} width rows and {} height rows",
+                    w_rows.len(),
+                    h_rows.len()
+                )));
+            }
+            for (i, entry) in entries.iter().enumerate() {
+                if let Some(e) = entry {
+                    if e.dims_box.block_count() != n {
+                        return Err(Error::custom(format!(
+                            "entry {i} spans {} blocks, structure has {n}",
+                            e.dims_box.block_count()
+                        )));
+                    }
+                }
+            }
+            let is_live = |id: u32| {
+                entries
+                    .get(id as usize)
+                    .is_some_and(|e: &Option<StoredPlacement>| e.is_some())
+            };
+            for (rows, label) in [(&w_rows, "w"), (&h_rows, "h")] {
+                for (i, row) in rows.iter().enumerate() {
+                    for (_, ids) in row.iter() {
+                        if let Some(&dead) = ids.iter().find(|&&id| !is_live(id)) {
+                            return Err(Error::custom(format!(
+                                "{label}-row {i} references non-live placement {dead}"
+                            )));
+                        }
+                    }
+                }
+            }
+            if let Some(t) = &fallback {
+                if t.block_count() != n {
+                    return Err(Error::custom(format!(
+                        "fallback template spans {} blocks, structure has {n}",
+                        t.block_count()
+                    )));
+                }
+            }
+            let live_count = entries.iter().flatten().count();
+            Ok(MultiPlacementStructure {
+                bounds,
+                floorplan,
+                entries,
+                live_count,
+                w_rows,
+                h_rows,
+                fallback,
+            })
+        }
     }
 }
 

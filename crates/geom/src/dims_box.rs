@@ -6,7 +6,6 @@ use std::fmt;
 /// The width/height validity intervals of one block inside one stored
 /// placement: the `(w_start, w_end, h_start, h_end)` 4-tuple of Eq. 2.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockRanges {
     /// Valid width interval `[w_start, w_end]`.
     pub w: Interval,
@@ -62,7 +61,6 @@ impl fmt::Debug for BlockRanges {
 
 /// One of the two dimension axes of a block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Axis {
     /// The block width `w_i`.
     Width,
@@ -78,7 +76,6 @@ impl Axis {
 /// Identifies one scalar dimension of the 2N-dimensional size space:
 /// block `block`'s width or height.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DimIndex {
     /// Index of the block within the circuit.
     pub block: usize,
@@ -111,7 +108,6 @@ pub struct DimIndex {
 /// assert!(common.contains(&[(7, 5)]));
 /// ```
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DimsBox {
     ranges: Vec<BlockRanges>,
 }
@@ -348,6 +344,18 @@ impl FromIterator<BlockRanges> for DimsBox {
         DimsBox::new(iter.into_iter().collect())
     }
 }
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(BlockRanges { w, h });
+
+#[cfg(feature = "serde")]
+serde::impl_serde_unit_enum!(Axis { Width, Height });
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(DimIndex { block, axis });
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(DimsBox { ranges });
 
 #[cfg(test)]
 mod tests {

@@ -24,7 +24,6 @@ use std::fmt;
 /// assert_eq!(a.len(), 7);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Interval {
     lo: Coord,
     hi: Coord,
@@ -257,6 +256,35 @@ impl fmt::Display for Interval {
 impl From<(Coord, Coord)> for Interval {
     fn from((lo, hi): (Coord, Coord)) -> Self {
         Interval::new(lo, hi)
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Error, Map, Serialize, Value};
+
+    impl Serialize for Interval {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("lo", self.lo.to_value());
+            map.insert("hi", self.hi.to_value());
+            Value::Object(map)
+        }
+    }
+
+    // Hand-written so `lo <= hi` is re-validated: a loaded interval must
+    // satisfy the same invariant a constructed one does.
+    impl Deserialize for Interval {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let field = |name: &str| {
+                value
+                    .get(name)
+                    .ok_or_else(|| Error::custom(format!("missing field `{name}` in Interval")))
+                    .and_then(Coord::from_value)
+            };
+            Interval::try_new(field("lo")?, field("hi")?).map_err(Error::custom)
+        }
     }
 }
 

@@ -35,7 +35,6 @@ use std::fmt;
 /// assert!(row.query(3).is_empty());
 /// ```
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IntervalMap<T = u32> {
     /// Sorted by interval lower bound; intervals pairwise disjoint; each id
     /// vector sorted ascending and non-empty.
@@ -325,6 +324,36 @@ impl<T: Copy + Ord> Extend<(Interval, T)> for IntervalMap<T> {
     fn extend<I: IntoIterator<Item = (Interval, T)>>(&mut self, iter: I) {
         for (iv, id) in iter {
             self.insert(iv, id);
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Error, Map, Serialize, Value};
+
+    impl<T: Serialize> Serialize for IntervalMap<T> {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("segments", self.segments.to_value());
+            Value::Object(map)
+        }
+    }
+
+    // Hand-written so the row invariants (ascending, non-overlapping,
+    // sorted non-empty index arrays) are re-validated on load instead of
+    // trusting the input.
+    impl<T: Deserialize + Copy + Ord> Deserialize for IntervalMap<T> {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let segments = value
+                .get("segments")
+                .ok_or_else(|| Error::custom("missing field `segments` in IntervalMap"))
+                .and_then(Vec::<(Interval, Vec<T>)>::from_value)?;
+            let map = IntervalMap { segments };
+            map.check_invariants()
+                .map_err(|e| Error::custom(format!("invalid IntervalMap: {e}")))?;
+            Ok(map)
         }
     }
 }

@@ -19,7 +19,6 @@ use std::ops::{Add, Sub};
 /// assert_eq!(a.manhattan_distance(&b), 7);
 /// ```
 #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: Coord,
@@ -79,6 +78,9 @@ impl From<(Coord, Coord)> for Point {
         Point::new(x, y)
     }
 }
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(Point { x, y });
 
 #[cfg(test)]
 mod tests {

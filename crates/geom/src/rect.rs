@@ -25,7 +25,6 @@ use std::fmt;
 /// assert_eq!(a.center(), Point::new(5, 2));
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rect {
     origin: Point,
     w: Coord,
@@ -216,6 +215,42 @@ impl fmt::Debug for Rect {
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}+{}x{}", self.origin, self.w, self.h)
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Error, Map, Serialize, Value};
+
+    impl Serialize for Rect {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("origin", self.origin.to_value());
+            map.insert("w", self.w.to_value());
+            map.insert("h", self.h.to_value());
+            Value::Object(map)
+        }
+    }
+
+    // Hand-written so positive extent is re-validated on load.
+    impl Deserialize for Rect {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let field = |name: &str| {
+                value
+                    .get(name)
+                    .ok_or_else(|| Error::custom(format!("missing field `{name}` in Rect")))
+            };
+            let origin = Point::from_value(field("origin")?)?;
+            let w = Coord::from_value(field("w")?)?;
+            let h = Coord::from_value(field("h")?)?;
+            if w <= 0 || h <= 0 {
+                return Err(Error::custom(format!(
+                    "rectangle dimensions must be positive (got {w}x{h})"
+                )));
+            }
+            Ok(Rect { origin, w, h })
+        }
     }
 }
 

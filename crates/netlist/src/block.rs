@@ -9,7 +9,6 @@ use std::fmt;
 /// the position in that vector, wrapped for type safety so net pins cannot
 /// be confused with raw indices.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockId(pub usize);
 
 impl BlockId {
@@ -55,7 +54,6 @@ impl From<usize> for BlockId {
 /// assert_eq!(b.dim_ranges().w.len(), 61);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Block {
     name: String,
     w_min: Coord,
@@ -152,6 +150,70 @@ impl Block {
     #[must_use]
     pub fn admits(&self, w: Coord, h: Coord) -> bool {
         self.w_min <= w && w <= self.w_max && self.h_min <= h && h <= self.h_max
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Error, Map, Serialize, Value};
+
+    impl Serialize for BlockId {
+        fn to_value(&self) -> Value {
+            self.0.to_value()
+        }
+    }
+
+    impl Deserialize for BlockId {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            usize::from_value(value).map(BlockId)
+        }
+    }
+
+    impl Serialize for Block {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("name", self.name.to_value());
+            map.insert("w_min", self.w_min.to_value());
+            map.insert("w_max", self.w_max.to_value());
+            map.insert("h_min", self.h_min.to_value());
+            map.insert("h_max", self.h_max.to_value());
+            Value::Object(map)
+        }
+    }
+
+    // Hand-written so the dimension-bound invariants are re-validated on
+    // load (positive minima, min <= max on both axes).
+    impl Deserialize for Block {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let field = |name: &str| {
+                value
+                    .get(name)
+                    .ok_or_else(|| Error::custom(format!("missing field `{name}` in Block")))
+            };
+            let name = String::from_value(field("name")?)?;
+            let w_min = Coord::from_value(field("w_min")?)?;
+            let w_max = Coord::from_value(field("w_max")?)?;
+            let h_min = Coord::from_value(field("h_min")?)?;
+            let h_max = Coord::from_value(field("h_max")?)?;
+            if w_min <= 0 || h_min <= 0 {
+                return Err(Error::custom(format!(
+                    "block `{name}`: minimum dimensions must be positive"
+                )));
+            }
+            if w_min > w_max || h_min > h_max {
+                return Err(Error::custom(format!(
+                    "block `{name}`: inverted dimension bounds"
+                )));
+            }
+            Ok(Block {
+                name,
+                w_min,
+                w_max,
+                h_min,
+                h_max,
+            })
+        }
     }
 }
 

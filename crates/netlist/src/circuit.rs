@@ -60,7 +60,6 @@ impl std::error::Error for ValidateCircuitError {}
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Circuit {
     name: String,
     blocks: Vec<Block>,
@@ -335,6 +334,38 @@ impl CircuitBuilder {
     /// pin reference.
     pub fn build(self) -> Result<Circuit, ValidateCircuitError> {
         Circuit::new(self.name, self.blocks, self.nets)
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Error, Map, Serialize, Value};
+
+    impl Serialize for Circuit {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("name", self.name.to_value());
+            map.insert("blocks", self.blocks.to_value());
+            map.insert("nets", self.nets.to_value());
+            Value::Object(map)
+        }
+    }
+
+    // Hand-written so a loaded circuit goes through the same validation
+    // as a constructed one (non-empty, no dangling pin references).
+    impl Deserialize for Circuit {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let field = |name: &str| {
+                value
+                    .get(name)
+                    .ok_or_else(|| Error::custom(format!("missing field `{name}` in Circuit")))
+            };
+            let name = String::from_value(field("name")?)?;
+            let blocks = Vec::<Block>::from_value(field("blocks")?)?;
+            let nets = Vec::<Net>::from_value(field("nets")?)?;
+            Circuit::new(name, blocks, nets).map_err(Error::custom)
+        }
     }
 }
 

@@ -36,7 +36,6 @@ use crate::Block;
 /// fingers to keep the footprint near-square, then adds the surrounding
 /// guard ring.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MosfetGenerator {
     /// Horizontal pitch of one finger (poly + contact + spacing).
     pub finger_pitch: Coord,
@@ -75,7 +74,6 @@ impl MosfetGenerator {
 /// common-centroid arrangement — twice the device area of a single MOSFET
 /// plus matching overhead.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DiffPairGenerator {
     /// The underlying per-device generator.
     pub mosfet: MosfetGenerator,
@@ -104,7 +102,6 @@ impl DiffPairGenerator {
 ///
 /// The sizing parameter is the capacitance in femtofarads.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CapacitorGenerator {
     /// Capacitance per unit area (fF per grid-unit²).
     pub density: f64,
@@ -145,7 +142,6 @@ impl CapacitorGenerator {
 /// The sizing parameter is the resistance in units of the sheet resistance
 /// (i.e. the number of squares).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ResistorGenerator {
     /// Width of one resistor strip.
     pub strip_width: Coord,
@@ -185,7 +181,6 @@ impl ResistorGenerator {
 /// The module generator for one block: a closed enum so sizing models are
 /// serializable and cheaply cloneable.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Generator {
     /// Single folded MOSFET.
     Mosfet(MosfetGenerator),
@@ -303,7 +298,6 @@ impl Generator {
 /// sizer's parameter vector into the dimension vector fed to the
 /// multi-placement structure.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SizingModel {
     generators: Vec<Generator>,
 }
@@ -360,6 +354,87 @@ impl SizingModel {
     #[must_use]
     pub fn param_ranges(&self) -> Vec<(f64, f64)> {
         self.generators.iter().map(Generator::param_range).collect()
+    }
+}
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(MosfetGenerator {
+    finger_pitch,
+    guard,
+    min_total_width,
+    max_total_width,
+});
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(DiffPairGenerator {
+    mosfet,
+    matching_margin,
+});
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(CapacitorGenerator {
+    density,
+    ring,
+    min_cap,
+    max_cap,
+    aspect,
+});
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(ResistorGenerator {
+    strip_width,
+    strip_gap,
+    max_strip_len,
+    min_squares,
+    max_squares,
+});
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(SizingModel { generators });
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Error, Map, Serialize, Value};
+
+    // Externally tagged, matching serde's default enum representation:
+    // {"Mosfet": {...}} etc.
+    impl Serialize for Generator {
+        fn to_value(&self) -> Value {
+            let (tag, config) = match self {
+                Generator::Mosfet(g) => ("Mosfet", g.to_value()),
+                Generator::DiffPair(g) => ("DiffPair", g.to_value()),
+                Generator::Capacitor(g) => ("Capacitor", g.to_value()),
+                Generator::Resistor(g) => ("Resistor", g.to_value()),
+            };
+            let mut map = Map::new();
+            map.insert(tag, config);
+            Value::Object(map)
+        }
+    }
+
+    impl Deserialize for Generator {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let map = value
+                .as_object()
+                .ok_or_else(|| Error::expected("Generator object", value))?;
+            if map.len() != 1 {
+                return Err(Error::custom(format!(
+                    "expected single-variant Generator object, found {} keys",
+                    map.len()
+                )));
+            }
+            let (tag, config) = map.iter().next().expect("len checked");
+            match tag {
+                "Mosfet" => MosfetGenerator::from_value(config).map(Generator::Mosfet),
+                "DiffPair" => DiffPairGenerator::from_value(config).map(Generator::DiffPair),
+                "Capacitor" => CapacitorGenerator::from_value(config).map(Generator::Capacitor),
+                "Resistor" => ResistorGenerator::from_value(config).map(Generator::Resistor),
+                other => Err(Error::custom(format!(
+                    "unknown Generator variant `{other}`"
+                ))),
+            }
+        }
     }
 }
 

@@ -11,7 +11,6 @@ use std::fmt;
 /// block. `PinOffset { fx: 0.5, fy: 1.0 }` is the middle of the block's top
 /// edge for any `(w, h)` the module generator produces.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PinOffset {
     /// Horizontal fraction in `[0, 1]` of the block width.
     pub fx: f32,
@@ -62,7 +61,6 @@ impl Default for PinOffset {
 
 /// A connection point on a block.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pin {
     /// The block carrying the pin.
     pub block: BlockId,
@@ -96,7 +94,6 @@ impl Pin {
 
 /// Which floorplan edge an external pad sits on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PadSide {
     /// Left edge of the floorplan bounding box.
     Left,
@@ -116,7 +113,6 @@ pub enum PadSide {
 /// block toward the right edge. This models the Table-1 circuits whose net
 /// count exceeds half their terminal count (see the crate-level discussion).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pad {
     /// Edge of the floorplan the pad sits on.
     pub side: PadSide,
@@ -160,7 +156,6 @@ impl Pad {
 /// analog nets (e.g. the differential input pair) typically carry weights
 /// above 1.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Net {
     name: String,
     pins: Vec<Pin>,
@@ -262,6 +257,119 @@ impl fmt::Display for Net {
         write!(f, ")")
     }
 }
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Error, Map, Serialize, Value};
+
+    // Hand-written so the [0, 1] fraction invariant is re-validated.
+    impl Serialize for PinOffset {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("fx", self.fx.to_value());
+            map.insert("fy", self.fy.to_value());
+            Value::Object(map)
+        }
+    }
+
+    impl Deserialize for PinOffset {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let field = |name: &str| {
+                value
+                    .get(name)
+                    .ok_or_else(|| Error::custom(format!("missing field `{name}` in PinOffset")))
+                    .and_then(f32::from_value)
+            };
+            let (fx, fy) = (field("fx")?, field("fy")?);
+            for f in [fx, fy] {
+                if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                    return Err(Error::custom(format!("pin fraction out of [0,1]: {f}")));
+                }
+            }
+            Ok(PinOffset { fx, fy })
+        }
+    }
+
+    impl Serialize for Pad {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("side", self.side.to_value());
+            map.insert("frac", self.frac.to_value());
+            Value::Object(map)
+        }
+    }
+
+    impl Deserialize for Pad {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let field = |name: &str| {
+                value
+                    .get(name)
+                    .ok_or_else(|| Error::custom(format!("missing field `{name}` in Pad")))
+            };
+            let side = PadSide::from_value(field("side")?)?;
+            let frac = f32::from_value(field("frac")?)?;
+            if !frac.is_finite() || !(0.0..=1.0).contains(&frac) {
+                return Err(Error::custom(format!("pad fraction out of [0,1]: {frac}")));
+            }
+            Ok(Pad { side, frac })
+        }
+    }
+
+    impl Serialize for Net {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("name", self.name.to_value());
+            map.insert("pins", self.pins.to_value());
+            map.insert("pad", self.pad.to_value());
+            map.insert("weight", self.weight.to_value());
+            Value::Object(map)
+        }
+    }
+
+    // Hand-written so the non-empty-pins and weight invariants are
+    // re-validated on load.
+    impl Deserialize for Net {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let field = |name: &str| {
+                value
+                    .get(name)
+                    .ok_or_else(|| Error::custom(format!("missing field `{name}` in Net")))
+            };
+            let name = String::from_value(field("name")?)?;
+            let pins = Vec::<Pin>::from_value(field("pins")?)?;
+            let pad = Option::<Pad>::from_value(field("pad")?)?;
+            let weight = f64::from_value(field("weight")?)?;
+            if pins.is_empty() {
+                return Err(Error::custom(format!(
+                    "net `{name}` must connect at least one block pin"
+                )));
+            }
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(Error::custom(format!(
+                    "net `{name}`: invalid weight {weight}"
+                )));
+            }
+            Ok(Net {
+                name,
+                pins,
+                pad,
+                weight,
+            })
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(Pin { block, offset });
+
+#[cfg(feature = "serde")]
+serde::impl_serde_unit_enum!(PadSide {
+    Left,
+    Right,
+    Bottom,
+    Top,
+});
 
 #[cfg(test)]
 mod tests {

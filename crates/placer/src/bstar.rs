@@ -28,7 +28,6 @@ use rand::Rng;
 /// One node of the B*-tree: indices into the node arena (`usize::MAX`
 /// encodes "no child"; private, never exposed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Node {
     left: usize,
     right: usize,
@@ -44,7 +43,6 @@ const NONE: usize = usize::MAX;
 /// [`BStarTree::swap_blocks`], [`BStarTree::move_subtree`]) preserve that
 /// invariant, so packing is always well-defined and overlap-free.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BStarTree {
     nodes: Vec<Node>,
     root: usize,
@@ -341,6 +339,50 @@ fn contour_insert(contour: &mut Vec<(Coord, Coord, Coord)>, x0: Coord, x1: Coord
     }
     next.sort_by_key(|&(s, _, _)| s);
     *contour = next;
+}
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(Node {
+    left,
+    right,
+    parent,
+});
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Error, Map, Serialize, Value};
+
+    impl Serialize for BStarTree {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("nodes", self.nodes.to_value());
+            map.insert("root", self.root.to_value());
+            Value::Object(map)
+        }
+    }
+
+    // Hand-written so the single-connected-tree invariant is re-validated
+    // on load (a malformed tree would make packing loop or panic).
+    impl Deserialize for BStarTree {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let field = |name: &str| {
+                value
+                    .get(name)
+                    .ok_or_else(|| Error::custom(format!("missing field `{name}` in BStarTree")))
+            };
+            let tree = BStarTree {
+                nodes: Vec::<Node>::from_value(field("nodes")?)?,
+                root: usize::from_value(field("root")?)?,
+            };
+            if tree.nodes.is_empty() {
+                return Err(Error::custom("BStarTree must have at least one node"));
+            }
+            tree.check_invariants()
+                .map_err(|e| Error::custom(format!("invalid BStarTree: {e}")))?;
+            Ok(tree)
+        }
+    }
 }
 
 #[cfg(test)]

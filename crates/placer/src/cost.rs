@@ -18,7 +18,6 @@ use mps_netlist::Circuit;
 /// states may be illegal; `symmetry` activates the analog symmetry
 /// extension.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostWeights {
     /// Weight of the total half-perimeter wirelength.
     pub wirelength: f64,
@@ -225,6 +224,15 @@ impl<'a> CostCalculator<'a> {
         self.breakdown(placement, dims).total(&self.weights)
     }
 }
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(CostWeights {
+    wirelength,
+    area,
+    overlap,
+    out_of_bounds,
+    symmetry,
+});
 
 #[cfg(test)]
 mod tests {

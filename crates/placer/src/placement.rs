@@ -26,7 +26,6 @@ use std::fmt;
 /// assert_eq!(p.bounding_box(&dims).unwrap().area(), 40 * 20);
 /// ```
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Placement {
     coords: Vec<Point>,
 }
@@ -198,6 +197,9 @@ impl FromIterator<Point> for Placement {
         Placement::new(iter.into_iter().collect())
     }
 }
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(Placement { coords });
 
 #[cfg(test)]
 mod tests {

@@ -29,7 +29,6 @@ use rand::Rng;
 /// assert!(placement.is_legal(&[(10, 10), (20, 5)], None));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SequencePair {
     pos: Vec<usize>,
     neg: Vec<usize>,
@@ -245,6 +244,37 @@ impl SequencePair {
         let na = self.index_in(&self.neg, ba);
         let nb = self.index_in(&self.neg, bb);
         self.neg.swap(na, nb);
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Deserialize, Error, Map, Serialize, Value};
+
+    impl Serialize for SequencePair {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("pos", self.pos.to_value());
+            map.insert("neg", self.neg.to_value());
+            Value::Object(map)
+        }
+    }
+
+    // Hand-written so the both-sequences-are-permutations invariant is
+    // re-validated on load (via the checked constructor).
+    impl Deserialize for SequencePair {
+        fn from_value(value: &Value) -> Result<Self, Error> {
+            let field = |name: &str| {
+                value
+                    .get(name)
+                    .ok_or_else(|| Error::custom(format!("missing field `{name}` in SequencePair")))
+                    .and_then(Vec::<usize>::from_value)
+            };
+            SequencePair::new(field("pos")?, field("neg")?).ok_or_else(|| {
+                Error::custom("SequencePair sequences must be equal-length permutations of 0..n")
+            })
+        }
     }
 }
 

@@ -16,7 +16,6 @@ use mps_netlist::BlockId;
 /// One symmetry group: block pairs mirrored about a common vertical axis
 /// plus blocks centered on it.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SymmetryGroup {
     /// Pairs `(left, right)` that must mirror each other.
     pub pairs: Vec<(BlockId, BlockId)>,
@@ -99,7 +98,6 @@ impl SymmetryGroup {
 /// assert!(sym.deviation(&skewed, &dims) > 0.0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SymmetryConstraints {
     groups: Vec<SymmetryGroup>,
 }
@@ -142,6 +140,15 @@ impl SymmetryConstraints {
         self.groups.iter().all(|g| g.block_count() == 0)
     }
 }
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(SymmetryGroup {
+    pairs,
+    self_symmetric,
+});
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(SymmetryConstraints { groups });
 
 #[cfg(test)]
 mod tests {

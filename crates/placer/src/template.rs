@@ -40,7 +40,6 @@ use rand::SeedableRng;
 /// assert!(template.instantiate(&big).is_legal(&big, None));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Template {
     seqpair: SequencePair,
 }
@@ -120,6 +119,9 @@ impl Template {
         self.seqpair.pack(dims)
     }
 }
+
+#[cfg(feature = "serde")]
+serde::impl_serde_struct!(Template { seqpair });
 
 #[cfg(test)]
 mod tests {

@@ -71,14 +71,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 4. Persist and reload (generate once, use everywhere) --------
-    // JSON persistence sits behind the `serde` feature, which needs the
-    // real serde/serde_json crates (unavailable in offline builds). The
-    // reload path is exercised with a clone when the feature is off.
+    // The structure is written as a versioned `mps-v1` JSON envelope and
+    // read back through the validating loader: `load_json` re-checks the
+    // format tag and every Eq.-5 invariant, so a corrupt or stale file
+    // surfaces as an error here instead of garbage floorplans later.
     #[cfg(feature = "serde")]
     let reloaded: MultiPlacementStructure = {
-        let json = serde_json::to_string(&mps)?;
-        println!("serialized structure: {} bytes", json.len());
-        serde_json::from_str(&json)?
+        // Process-unique name: concurrent runs (smoke test + developer)
+        // must not race on a shared file.
+        let path =
+            std::env::temp_dir().join(format!("custom_circuit_{}.mps.json", std::process::id()));
+        mps.save_json(&path)?;
+        println!(
+            "persisted structure: {} bytes at {}",
+            std::fs::metadata(&path)?.len(),
+            path.display()
+        );
+        let reloaded = MultiPlacementStructure::load_json(&path)?;
+        std::fs::remove_file(&path)?;
+        reloaded
     };
     #[cfg(not(feature = "serde"))]
     let reloaded: MultiPlacementStructure = mps.clone();

@@ -1,0 +1,718 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of serde's surface it actually uses — the [`Serialize`] and
+//! [`Deserialize`] traits plus impls for the primitives and containers the
+//! MPS type stack is built from. Two deliberate simplifications versus the
+//! real crate:
+//!
+//! 1. **Value-tree data model.** Instead of serde's visitor machinery,
+//!    serialization converts to an in-memory JSON [`Value`] tree
+//!    ([`Serialize::to_value`]) and deserialization reads one back
+//!    ([`Deserialize::from_value`]). The sibling `serde_json` vendor crate
+//!    supplies the text layer (`to_string` / `from_str`), so call sites
+//!    look exactly like real serde_json usage.
+//! 2. **No proc-macro derive.** Per-type impls are hand-written in the
+//!    defining crates; the declarative macros [`impl_serde_struct!`],
+//!    [`impl_serde_newtype!`] and [`impl_serde_unit_enum!`] generate the
+//!    boilerplate for types without extra invariants. Types *with*
+//!    invariants (intervals, rectangles, circuits, …) write their
+//!    [`Deserialize`] by hand so malformed input is rejected with an
+//!    [`Error`] instead of constructing an ill-formed value — the
+//!    validate-don't-trust discipline the persistence layer is built on.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize, Value};
+//!
+//! let v = vec![1i64, 2, 3].to_value();
+//! assert_eq!(Vec::<i64>::from_value(&v).unwrap(), vec![1, 2, 3]);
+//! assert!(Vec::<i64>::from_value(&Value::Bool(true)).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// The data model
+// ---------------------------------------------------------------------
+
+/// A JSON value tree — the interchange data model of this serde subset
+/// (re-exported by the vendored `serde_json` as `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object. Key order is preserved, so serialization is
+    /// deterministic (the golden-fixture byte-stability tests rely on it).
+    Object(Map),
+}
+
+impl Value {
+    /// The object behind the value, if it is one.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array behind the value, if it is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string behind the value, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean behind the value, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an in-range integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an in-range non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects (`None` for non-objects or missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Short description of the value's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A JSON number: non-negative integer, negative integer, or float — the
+/// same three-way split real serde_json uses, so integer round-trips are
+/// exact and floats survive via shortest-round-trip decimal printing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float (always finite; non-finite values serialize as `null`).
+    Float(f64),
+}
+
+impl Number {
+    /// The number as `i64`, if integral and in range.
+    #[must_use]
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::PosInt(u) => i64::try_from(u).ok(),
+            Number::NegInt(i) => Some(i),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The number as `u64`, if integral and non-negative.
+    #[must_use]
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::PosInt(u) => Some(u),
+            Number::NegInt(_) | Number::Float(_) => None,
+        }
+    }
+
+    /// The number as `f64` (integers convert losslessly up to 2⁵³).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::PosInt(u) => u as f64,
+            Number::NegInt(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (the object representation).
+///
+/// Backed by a vector: objects in this workspace are tiny (≤ 10 keys), and
+/// preserving insertion order keeps serialization byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object has no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a key, replacing in place if it already exists (last write
+    /// wins, matching serde_json's duplicate-key handling).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((key, value)),
+        }
+    }
+
+    /// Member lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// A (de)serialization error: a human-readable description of the first
+/// mismatch between the value tree and the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self(msg.to_string())
+    }
+
+    /// Convenience: "expected X, found Y" for a mismatched value.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------
+// The traits
+// ---------------------------------------------------------------------
+
+/// Types convertible into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+///
+/// Implementations must be total: any input tree either produces a valid
+/// value of the type or an [`Error`] — never a panic and never a value
+/// violating the type's invariants.
+pub trait Deserialize: Sized {
+    /// Reads a value of `Self` back out of a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not encode a valid `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("boolean", value))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                Value::Number(if v < 0 {
+                    Number::NegInt(v)
+                } else {
+                    Number::PosInt(v as u64)
+                })
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer", value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("non-negative integer", value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::Float(*self))
+        } else {
+            // Matches serde_json: non-finite floats serialize as null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        // f64 -> f32 rounds to nearest, which restores the exact f32 that
+        // was widened on the serialize side.
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let arr = value
+            .as_array()
+            .ok_or_else(|| Error::expected("2-element array", value))?;
+        if arr.len() != 2 {
+            return Err(Error::custom(format!(
+                "expected 2-element array, found {} elements",
+                arr.len()
+            )));
+        }
+        Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Impl-generation macros (the stand-in for `#[derive]`)
+// ---------------------------------------------------------------------
+
+/// Generates [`Serialize`] + [`Deserialize`] for a plain struct with named
+/// fields and no extra invariants. Must be invoked in the module defining
+/// the struct (the generated code uses a struct literal, so private fields
+/// are fine there). Types whose fields have invariants should hand-write
+/// `Deserialize` instead.
+///
+/// ```
+/// struct P { x: i64, y: i64 }
+/// serde::impl_serde_struct!(P { x, y });
+/// use serde::{Deserialize, Serialize};
+/// let v = P { x: 1, y: -2 }.to_value();
+/// let p = P::from_value(&v).unwrap();
+/// assert_eq!((p.x, p.y), (1, -2));
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let mut map = $crate::Map::new();
+                $(map.insert(
+                    stringify!($field),
+                    $crate::Serialize::to_value(&self.$field),
+                );)+
+                $crate::Value::Object(map)
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::Error> {
+                let map = value.as_object().ok_or_else(|| {
+                    $crate::Error::expected(
+                        concat!(stringify!($ty), " object"),
+                        value,
+                    )
+                })?;
+                Ok($ty {
+                    $($field: map
+                        .get(stringify!($field))
+                        .ok_or_else(|| $crate::Error::custom(concat!(
+                            "missing field `",
+                            stringify!($field),
+                            "` in ",
+                            stringify!($ty),
+                        )))
+                        .and_then($crate::Deserialize::from_value)?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Generates [`Serialize`] + [`Deserialize`] for a single-field tuple
+/// struct, represented transparently as its inner value (matching serde's
+/// newtype behavior).
+#[macro_export]
+macro_rules! impl_serde_newtype {
+    ($ty:ident) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::Error> {
+                $crate::Deserialize::from_value(value).map($ty)
+            }
+        }
+    };
+}
+
+/// Generates [`Serialize`] + [`Deserialize`] for a field-less enum,
+/// represented as the variant-name string (matching serde's unit-variant
+/// behavior).
+#[macro_export]
+macro_rules! impl_serde_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::String(
+                    match self {
+                        $($ty::$variant => stringify!($variant),)+
+                    }
+                    .to_owned(),
+                )
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::Error> {
+                match value.as_str() {
+                    $(Some(stringify!($variant)) => Ok($ty::$variant),)+
+                    Some(other) => Err($crate::Error::custom(format!(
+                        concat!("unknown ", stringify!($ty), " variant `{}`"),
+                        other
+                    ))),
+                    None => Err($crate::Error::expected(
+                        concat!(stringify!($ty), " variant string"),
+                        value,
+                    )),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_owned()
+        );
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&300u64.to_value()).is_err());
+        assert!(u64::from_value(&(-1i64).to_value()).is_err());
+        assert!(i8::from_value(&i64::MAX.to_value()).is_err());
+    }
+
+    #[test]
+    fn float_accepts_integer_encoding() {
+        // The printer emits `1` for 1.0; the reader must accept it.
+        assert_eq!(
+            f64::from_value(&Value::Number(Number::PosInt(1))).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let some: Option<i64> = Some(4);
+        let none: Option<i64> = None;
+        assert_eq!(Option::<i64>::from_value(&some.to_value()).unwrap(), some);
+        assert_eq!(Option::<i64>::from_value(&none.to_value()).unwrap(), none);
+    }
+
+    #[test]
+    fn pairs_require_two_elements() {
+        let v = Value::Array(vec![1i64.to_value()]);
+        assert!(<(i64, i64)>::from_value(&v).is_err());
+        let ok = (3i64, 4i64).to_value();
+        assert_eq!(<(i64, i64)>::from_value(&ok).unwrap(), (3, 4));
+    }
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m = Map::new();
+        m.insert("b", 1i64.to_value());
+        m.insert("a", 2i64.to_value());
+        m.insert("b", 3i64.to_value());
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["b", "a"]);
+        assert_eq!(m.get("b"), Some(&3i64.to_value()));
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    struct Demo {
+        a: i64,
+        b: Option<String>,
+    }
+    crate::impl_serde_struct!(Demo { a, b });
+
+    #[test]
+    fn struct_macro_roundtrips_and_rejects_missing_fields() {
+        let d = Demo {
+            a: 9,
+            b: Some("x".into()),
+        };
+        let v = d.to_value();
+        let back = Demo::from_value(&v).unwrap();
+        assert_eq!(back.a, 9);
+        assert_eq!(back.b.as_deref(), Some("x"));
+        let mut m = Map::new();
+        m.insert("a", 9i64.to_value());
+        assert!(Demo::from_value(&Value::Object(m)).is_err()); // missing b
+        assert!(Demo::from_value(&Value::Null).is_err());
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Dir {
+        Up,
+        Down,
+    }
+    crate::impl_serde_unit_enum!(Dir { Up, Down });
+
+    #[test]
+    fn unit_enum_macro_roundtrips_and_rejects_unknown() {
+        assert_eq!(Dir::from_value(&Dir::Up.to_value()).unwrap(), Dir::Up);
+        assert!(Dir::from_value(&Value::String("Left".into())).is_err());
+        assert!(Dir::from_value(&Value::Null).is_err());
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Id(u32);
+    crate::impl_serde_newtype!(Id);
+
+    #[test]
+    fn newtype_macro_is_transparent() {
+        assert_eq!(Id(5).to_value(), 5u32.to_value());
+        assert_eq!(Id::from_value(&5u32.to_value()).unwrap(), Id(5));
+    }
+}

@@ -1,0 +1,636 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The text layer over the vendored `serde` value tree: [`to_string`],
+//! [`to_string_pretty`] and [`from_str`] look exactly like real serde_json
+//! at the call site. The parser is a recursive-descent reader with a
+//! nesting-depth cap (malformed or adversarial input yields an [`Error`],
+//! never a panic or stack overflow); the printer emits floats through
+//! Rust's shortest-round-trip formatting, so every finite `f64` survives a
+//! save/load cycle bit-exactly.
+//!
+//! ```
+//! let json = serde_json::to_string(&vec![1i64, 2, 3]).unwrap();
+//! assert_eq!(json, "[1,2,3]");
+//! let back: Vec<i64> = serde_json::from_str(&json).unwrap();
+//! assert_eq!(back, vec![1, 2, 3]);
+//! assert!(serde_json::from_str::<Vec<i64>>("[1,2").is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fmt::Write as _;
+
+pub use serde::{Map, Number, Value};
+
+/// Maximum container nesting the parser accepts. The MPS format nests a
+/// handful of levels; the cap only exists so hostile input errors out
+/// instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+// ---------------------------------------------------------------------
+// Error
+// ---------------------------------------------------------------------
+
+/// A JSON (de)serialization error: what went wrong and, for syntax
+/// errors, where in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    /// Byte offset of the error in the input, for parse errors.
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn syntax(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    fn data(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+            offset: None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} at byte offset {o}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::data(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+/// Serializes a value to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// real serde_json signature so call sites are drop-in compatible.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to a human-readable, 2-space-indented JSON string.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace (see [`to_string`]).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    out.push('\n');
+    Ok(out)
+}
+
+/// Converts a value into the [`Value`] tree.
+#[must_use]
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the tree does not encode a valid `T`.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Parses a JSON string into a typed value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON (with the byte offset of the first
+/// problem) or when the parsed tree does not encode a valid `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    from_value(&value)
+}
+
+// ---------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            write_break(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            write_break(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn write_break(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::PosInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::NegInt(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::Float(f) => {
+            if f.is_finite() {
+                // Rust's Display for f64 prints the shortest decimal string
+                // that parses back to the same bits — exact round-trips.
+                let _ = write!(out, "{f}");
+            } else {
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+/// Parses a JSON string into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] with a byte offset on the first syntax problem.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace();
+    let value = p.parse_value(0)?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(Error::syntax("trailing characters after JSON value", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::syntax(
+                format!("expected `{}`", char::from(byte)),
+                self.pos,
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::syntax(format!("expected `{lit}`"), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::syntax("nesting depth limit exceeded", self.pos));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(Error::syntax("unexpected character", self.pos)),
+            None => Err(Error::syntax("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::syntax("expected `,` or `]` in array", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::syntax("expected `,` or `}` in object", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::syntax("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.parse_unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(Error::syntax("invalid escape sequence", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(Error::syntax("unescaped control character", self.pos));
+                }
+                Some(_) => {
+                    // Consume the maximal run of ordinary characters in
+                    // one step. The run ends only at ASCII bytes (quote,
+                    // backslash, control) and the input is a valid &str,
+                    // so the slice always falls on char boundaries.
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' || c < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("runs of a valid &str cut at ASCII boundaries are valid UTF-8");
+                    out.push_str(run);
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, Error> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(Error::syntax("truncated \\u escape", self.pos));
+        };
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|h| u16::from_str_radix(h, 16).ok())
+            .ok_or_else(|| Error::syntax("invalid \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(hex)
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, Error> {
+        let start = self.pos;
+        let first = self.parse_hex4()?;
+        // Surrogate pair handling.
+        if (0xD800..0xDC00).contains(&first) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let second = self.parse_hex4()?;
+                if (0xDC00..0xE000).contains(&second) {
+                    let c = 0x10000
+                        + ((u32::from(first) - 0xD800) << 10)
+                        + (u32::from(second) - 0xDC00);
+                    return char::from_u32(c)
+                        .ok_or_else(|| Error::syntax("invalid surrogate pair", start));
+                }
+            }
+            return Err(Error::syntax("unpaired surrogate in \\u escape", start));
+        }
+        char::from_u32(u32::from(first)).ok_or_else(|| Error::syntax("invalid \\u escape", start))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(Error::syntax("expected digit", self.pos));
+        }
+        let leading_zero = self.peek() == Some(b'0');
+        self.pos += 1;
+        if leading_zero && matches!(self.peek(), Some(b'0'..=b'9')) {
+            // JSON (and real serde_json) reject `01`, `-007`, ….
+            return Err(Error::syntax("leading zeros are not allowed", self.pos - 1));
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::syntax("expected fractional digit", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::syntax("expected exponent digit", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    // Preserve the sign of -0 by treating it as a float,
+                    // like serde_json does.
+                    if i != 0 {
+                        return Ok(Value::Number(Number::NegInt(i)));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(u)));
+            }
+        }
+        let f: f64 = text
+            .parse()
+            .map_err(|_| Error::syntax("invalid number", start))?;
+        if f.is_finite() {
+            Ok(Value::Number(Number::Float(f)))
+        } else {
+            Err(Error::syntax("number out of f64 range", start))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let s = to_string(v).unwrap();
+        parse(&s).unwrap()
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Number(Number::PosInt(u64::MAX)),
+            Value::Number(Number::NegInt(i64::MIN)),
+            Value::Number(Number::Float(1.25)),
+            Value::String("he\"llo\n\\ \u{1F600} \u{7}".into()),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn float_shortest_roundtrip_is_exact() {
+        for f in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, 990.0, 1e-7] {
+            let v = Value::Number(Number::Float(f));
+            let s = to_string(&v).unwrap();
+            match parse(&s).unwrap() {
+                Value::Number(n) => assert_eq!(n.as_f64(), f, "{s}"),
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn integral_floats_print_as_integers_and_read_back() {
+        let s = to_string(&Value::Number(Number::Float(990.0))).unwrap();
+        assert_eq!(s, "990");
+        let back: f64 = from_str(&s).unwrap();
+        assert_eq!(back, 990.0);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let mut m = Map::new();
+        m.insert("k", Value::Array(vec![Value::Null, Value::Bool(true)]));
+        m.insert("empty", Value::Object(Map::new()));
+        let v = Value::Object(m);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let mut m = Map::new();
+        m.insert("a", Value::Number(Number::PosInt(1)));
+        m.insert("b", Value::Array(vec![Value::Number(Number::NegInt(-2))]));
+        let v = Value::Object(m);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+        assert!(pretty.ends_with('\n'));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        for bad in [
+            "",
+            "{",
+            "[",
+            "[1,",
+            "{\"a\"",
+            "{\"a\":}",
+            "nul",
+            "tru",
+            "01x",
+            "01",
+            "-007.5",
+            "-",
+            "1e",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "[1] trailing",
+            "\"\\ud800\"",
+            "{1: 2}",
+            "[1 2]",
+            "\u{7}",
+        ] {
+            assert!(parse(bad).is_err(), "input {bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            parse("\"\\u0041\\ud83d\\ude00\"").unwrap(),
+            Value::String("A\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse("{\"a\":1,\"a\":2}").unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Number(Number::PosInt(2))));
+    }
+
+    #[test]
+    fn negative_zero_stays_a_float() {
+        match parse("-0").unwrap() {
+            Value::Number(Number::Float(f)) => {
+                assert!(f == 0.0 && f.is_sign_negative());
+            }
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+}
