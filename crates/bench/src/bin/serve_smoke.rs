@@ -1,0 +1,235 @@
+//! End-to-end serve smoke: start the real `mps-serve` binary over a
+//! directory of `--save`d artifacts, pipe a query stream through its
+//! stdin/stdout, and diff every answer against direct
+//! `MultiPlacementStructure::query` calls on the same artifacts. Exits
+//! non-zero on the first divergence — this is the CI gate proving the
+//! whole serving pipeline (persist → load → compile → protocol) answers
+//! exactly like the in-process structure.
+//!
+//! ```sh
+//! cargo run --release -p mps-bench --bin serve_smoke -- out/structures \
+//!     [--server target/release/mps-serve] [--queries N]
+//! ```
+
+use mps_bench::{arg_value, random_dims};
+use mps_core::MultiPlacementStructure;
+use mps_geom::Coord;
+use mps_netlist::benchmarks;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            eprintln!("usage: serve_smoke <ARTIFACT_DIR> [--server PATH] [--queries N]");
+            std::process::exit(2);
+        });
+    let server_bin: PathBuf =
+        arg_value("server").unwrap_or_else(|| PathBuf::from("target/release/mps-serve"));
+    let queries: usize = arg_value("queries").unwrap_or(300);
+
+    // Load every artifact directly — the reference answers.
+    let mut structures: Vec<(String, MultiPlacementStructure)> = Vec::new();
+    for entry in std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", dir.display())))
+    {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        let name = stem.strip_suffix(".mps").unwrap_or(stem).to_owned();
+        let mps = MultiPlacementStructure::load_json(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot load {}: {e}", path.display())));
+        structures.push((name, mps));
+    }
+    structures.sort_by(|a, b| a.0.cmp(&b.0));
+    if structures.is_empty() {
+        fail(&format!("no artifacts in {}", dir.display()));
+    }
+    eprintln!(
+        "serve_smoke: {} artifact(s): {}",
+        structures.len(),
+        structures
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // The query streams, one per structure, from the circuit's bounds
+    // when the benchmark is known (else from the structure's own bounds).
+    let mut streams: Vec<Vec<Vec<(Coord, Coord)>>> = Vec::new();
+    for (name, mps) in &structures {
+        let mut rng = StdRng::seed_from_u64(0x500C ^ name.len() as u64);
+        let stream: Vec<Vec<(Coord, Coord)>> = match benchmarks::by_name(name) {
+            Some(bm) => (0..queries)
+                .map(|_| random_dims(&bm.circuit, &mut rng))
+                .collect(),
+            None => {
+                let bounds = mps.bounds().to_vec();
+                use rand::Rng;
+                (0..queries)
+                    .map(|_| {
+                        bounds
+                            .iter()
+                            .map(|b| {
+                                (
+                                    rng.random_range(b.w.lo()..=b.w.hi()),
+                                    rng.random_range(b.h.lo()..=b.h.hi()),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect()
+            }
+        };
+        streams.push(stream);
+    }
+
+    // Start the server and pipe the whole stream through it.
+    let mut child = Command::new(&server_bin)
+        .arg(&dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("cannot start {}: {e}", server_bin.display())));
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+
+    let request_streams = streams.clone();
+    let request_names: Vec<String> = structures.iter().map(|(n, _)| n.clone()).collect();
+    let writer = std::thread::spawn(move || {
+        writeln!(stdin, "{{\"kind\":\"list_structures\"}}").expect("server accepts requests");
+        for (name, stream) in request_names.iter().zip(&request_streams) {
+            for dims in stream {
+                let pairs: Vec<String> = dims.iter().map(|&(w, h)| format!("[{w},{h}]")).collect();
+                writeln!(
+                    stdin,
+                    "{{\"kind\":\"query\",\"structure\":\"{name}\",\"dims\":[{}]}}",
+                    pairs.join(",")
+                )
+                .expect("server accepts requests");
+            }
+            // The same stream again as one batch request.
+            let vectors: Vec<String> = stream
+                .iter()
+                .map(|dims| {
+                    let pairs: Vec<String> =
+                        dims.iter().map(|&(w, h)| format!("[{w},{h}]")).collect();
+                    format!("[{}]", pairs.join(","))
+                })
+                .collect();
+            writeln!(
+                stdin,
+                "{{\"kind\":\"batch_query\",\"structure\":\"{name}\",\"dims_list\":[{}]}}",
+                vectors.join(",")
+            )
+            .expect("server accepts requests");
+        }
+        writeln!(stdin, "{{\"kind\":\"stats\"}}").expect("server accepts requests");
+        // dropping stdin ends the session
+    });
+
+    let mut lines = stdout.lines().map(|l| l.expect("server stays alive"));
+    let mut next = |context: &str| -> Value {
+        let line = lines
+            .next()
+            .unwrap_or_else(|| fail(&format!("server closed before answering {context}")));
+        let value = serde_json::parse(&line)
+            .unwrap_or_else(|e| fail(&format!("unparsable response for {context}: {e}: {line}")));
+        if value.get("ok").and_then(Value::as_bool) != Some(true) {
+            fail(&format!("refusal for {context}: {line}"));
+        }
+        value
+    };
+
+    // list_structures must name every artifact.
+    let listed = next("list_structures");
+    let listed: Vec<&str> = listed
+        .get("names")
+        .and_then(Value::as_array)
+        .map(|names| names.iter().filter_map(Value::as_str).collect())
+        .unwrap_or_default();
+    for (name, _) in &structures {
+        if !listed.contains(&name.as_str()) {
+            fail(&format!(
+                "structure `{name}` missing from list_structures: {listed:?}"
+            ));
+        }
+    }
+
+    // Diff the full stream: every wire answer equals the direct query.
+    let mut diffed = 0usize;
+    let mut covered = 0usize;
+    for ((name, mps), stream) in structures.iter().zip(&streams) {
+        for (k, dims) in stream.iter().enumerate() {
+            let response = next(&format!("query {k} on {name}"));
+            let got = response.get("id").and_then(Value::as_u64);
+            let expected = mps.query(dims).map(|id| u64::from(id.0));
+            if got != expected {
+                fail(&format!(
+                    "{name} probe {k} ({dims:?}): server answered {got:?}, direct query {expected:?}"
+                ));
+            }
+            diffed += 1;
+            covered += usize::from(expected.is_some());
+        }
+        let batch = next(&format!("batch_query on {name}"));
+        let ids = batch
+            .get("ids")
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| fail(&format!("batch response without ids on {name}")));
+        let expected = mps.query_batch(stream);
+        if ids.len() != expected.len() {
+            fail(&format!(
+                "{name} batch arity: {} answers for {} vectors",
+                ids.len(),
+                expected.len()
+            ));
+        }
+        for (k, (got, want)) in ids.iter().zip(&expected).enumerate() {
+            if got.as_u64() != want.map(|id| u64::from(id.0)) {
+                fail(&format!("{name} batch element {k} diverges"));
+            }
+            diffed += 1;
+        }
+    }
+    let stats = next("stats");
+    let served_queries = stats
+        .get("counters")
+        .and_then(|c| c.get("queries"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+
+    writer.join().expect("writer thread");
+    let status = child.wait().expect("server exit status");
+    if !status.success() {
+        fail(&format!("server exited with {status}"));
+    }
+    if served_queries != diffed as u64 {
+        fail(&format!(
+            "stats counted {served_queries} queries, the smoke diffed {diffed}"
+        ));
+    }
+    println!(
+        "serve_smoke: OK — {} structure(s), {diffed} answers diffed against direct query \
+         ({covered} in covered space), 0 mismatches",
+        structures.len()
+    );
+}

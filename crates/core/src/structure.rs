@@ -128,34 +128,70 @@ impl MultiPlacementStructure {
     /// Returns `None` when the vector has the wrong arity, escapes the
     /// coverage bounds, or falls in uncovered space. By construction the
     /// intersection never holds more than one live index.
+    ///
+    /// This is a thin wrapper over [`Self::query_with_scratch`] that pays
+    /// one candidate-buffer allocation per call; query loops should hold a
+    /// scratch buffer (or use [`Self::query_batch`]) instead.
     #[must_use]
     pub fn query(&self, dims: &[(Coord, Coord)]) -> Option<PlacementId> {
+        let mut scratch = Vec::new();
+        self.query_with_scratch(dims, &mut scratch)
+    }
+
+    /// [`Self::query`] without the per-call allocation: the candidate set
+    /// is intersected in place inside `scratch`, which is cleared and
+    /// refilled on every call. Reusing one buffer across a query stream
+    /// makes the hot path allocation-free after the first call (the buffer
+    /// only ever needs to hold block 0's width-row candidate array).
+    ///
+    /// `scratch` holds the surviving candidate (if any) on return; its
+    /// contents are otherwise unspecified.
+    #[must_use]
+    pub fn query_with_scratch(
+        &self,
+        dims: &[(Coord, Coord)],
+        scratch: &mut Vec<u32>,
+    ) -> Option<PlacementId> {
+        scratch.clear();
         if dims.len() != self.bounds.len() {
             return None;
         }
         // Candidate set from block 0's width row, then refined.
-        let mut candidates: Vec<u32> = self.w_rows[0].query(dims[0].0).to_vec();
-        if candidates.is_empty() {
+        scratch.extend_from_slice(self.w_rows[0].query(dims[0].0));
+        if scratch.is_empty() {
             return None;
         }
         let refine = |row: &IntervalMap<u32>, v: Coord, candidates: &mut Vec<u32>| {
             let ids = row.query(v);
             candidates.retain(|c| ids.binary_search(c).is_ok());
         };
-        refine(&self.h_rows[0], dims[0].1, &mut candidates);
+        refine(&self.h_rows[0], dims[0].1, scratch);
         for (i, &(w, h)) in dims.iter().enumerate().skip(1) {
-            if candidates.is_empty() {
+            if scratch.is_empty() {
                 return None;
             }
-            refine(&self.w_rows[i], w, &mut candidates);
-            refine(&self.h_rows[i], h, &mut candidates);
+            refine(&self.w_rows[i], w, scratch);
+            refine(&self.h_rows[i], h, scratch);
         }
         debug_assert!(
-            candidates.len() <= 1,
+            scratch.len() <= 1,
             "Eq. 5 violated: {} placements returned for one dimension vector",
-            candidates.len()
+            scratch.len()
         );
-        candidates.first().map(|&c| PlacementId(c))
+        scratch.first().map(|&c| PlacementId(c))
+    }
+
+    /// Answers a whole stream of dimension vectors through one reused
+    /// scratch buffer: element `k` of the result is exactly
+    /// `self.query(&queries[k])`, with a single candidate-buffer
+    /// allocation for the entire batch.
+    #[must_use]
+    pub fn query_batch(&self, queries: &[Vec<(Coord, Coord)>]) -> Vec<Option<PlacementId>> {
+        let mut scratch = Vec::new();
+        queries
+            .iter()
+            .map(|dims| self.query_with_scratch(dims, &mut scratch))
+            .collect()
     }
 
     /// Instantiates the placement for `dims`, or `None` in uncovered space.
@@ -357,15 +393,32 @@ impl MultiPlacementStructure {
             .collect()
     }
 
-    /// Read access to a width row (for coverage computation and tests).
+    /// Read access to one block's width row (the `W_i` function of Eq. 3):
+    /// the sorted disjoint intervals of width values, each carrying the
+    /// raw indices of the placements valid there.
+    ///
+    /// Public so downstream consumers can *compile* the rows into
+    /// alternative physical layouts (mps-serve's `CompiledQueryIndex`
+    /// flattens them into contiguous arrays plus bitsets). The raw `u32`
+    /// indices in a row are exactly the [`PlacementId`] values
+    /// [`Self::query`] returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.block_count()`.
     #[must_use]
-    pub(crate) fn w_row(&self, block: usize) -> &IntervalMap<u32> {
+    pub fn w_row(&self, block: usize) -> &IntervalMap<u32> {
         &self.w_rows[block]
     }
 
-    /// Read access to a height row.
+    /// Read access to one block's height row (the `H_i` function); see
+    /// [`Self::w_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.block_count()`.
     #[must_use]
-    pub(crate) fn h_row(&self, block: usize) -> &IntervalMap<u32> {
+    pub fn h_row(&self, block: usize) -> &IntervalMap<u32> {
         &self.h_rows[block]
     }
 

@@ -130,9 +130,25 @@ impl<T: Copy + Ord> IntervalMap<T> {
             .map(|(iv, ids)| (iv, ids.as_slice()))
     }
 
-    /// Iterates over all `(interval, indices)` segments in ascending order.
+    /// Iterates over all `(interval, indices)` segments in ascending order
+    /// (a borrowing view over [`IntervalMap::as_segments`]).
     pub fn iter(&self) -> impl Iterator<Item = (&Interval, &[T])> {
-        self.segments.iter().map(|(iv, ids)| (iv, ids.as_slice()))
+        self.as_segments()
+            .iter()
+            .map(|(iv, ids)| (iv, ids.as_slice()))
+    }
+
+    /// Direct read access to the underlying segment storage: the sorted,
+    /// pairwise-disjoint `(interval, sorted indices)` pairs.
+    ///
+    /// This exists for consumers that *compile* a row into a different
+    /// physical layout (e.g. the flattened arrays + bitsets of
+    /// `mps-serve`'s `CompiledQueryIndex`) and need the invariant-bearing
+    /// representation without per-segment iterator indirection. The slice
+    /// upholds every invariant of [`IntervalMap::check_invariants`].
+    #[must_use]
+    pub fn as_segments(&self) -> &[(Interval, Vec<T>)] {
+        &self.segments
     }
 
     /// Registers `id` as valid over every value in `range`, splitting

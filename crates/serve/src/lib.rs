@@ -1,0 +1,55 @@
+//! High-throughput query serving over persisted multi-placement
+//! structures.
+//!
+//! The paper's economics are *generate once, query many* (Fig. 1): the
+//! expensive nested-annealing generation runs offline; synthesis loops
+//! then instantiate placements in microseconds. This crate is the "many"
+//! side — the serving subsystem the ROADMAP's north star ("heavy traffic
+//! from millions of users") needs:
+//!
+//! * [`CompiledQueryIndex`] — a structure's interval rows compiled once
+//!   into flat sorted arrays plus fixed-width candidate bitsets: binary
+//!   search + bitset `AND` per query, **zero heap allocation per query**,
+//!   bit-identical to [`mps_core::MultiPlacementStructure::query`]
+//!   (cross-checked on every load).
+//! * [`StructureRegistry`] — the set of persisted `mps-v1` artifacts a
+//!   server answers for, loaded from a directory and hot-swapped behind
+//!   an `Arc`: readers take lock-free snapshots; a reload swaps the whole
+//!   set atomically while in-flight queries finish on the old one.
+//! * [`Server`] + the `mps-serve` binary — a line-delimited JSON protocol
+//!   (`query`, `batch_query`, `instantiate`, `stats`, `list_structures`)
+//!   over stdin/stdout and optional localhost TCP, with a [`WorkerPool`]
+//!   behind instantiation. Malformed input of any kind is answered with a
+//!   typed error line; the server never dies on input.
+//!
+//! # Quickstart
+//!
+//! ```sh
+//! cargo run --release -p mps-bench --bin table2 -- --effort 0.3 --save out/structures
+//! cargo run --release -p mps-serve -- out/structures
+//! # then, per line on stdin:
+//! # {"kind":"query","structure":"circ02","dims":[[30,40],[25,25],[25,25],[60,20],[40,40],[40,40]]}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compiled;
+mod pool;
+#[cfg(feature = "serde")]
+mod protocol;
+#[cfg(feature = "serde")]
+mod registry;
+#[cfg(feature = "serde")]
+mod server;
+
+pub use compiled::{CompiledQueryIndex, QueryScratch};
+pub use pool::{PoolError, WorkerPool};
+#[cfg(feature = "serde")]
+pub use protocol::{
+    error_response, parse_request, ErrorKind, Request, RequestError, REQUEST_KINDS,
+};
+#[cfg(feature = "serde")]
+pub use registry::{ReloadReport, ServeError, ServedStructure, StructureRegistry};
+#[cfg(feature = "serde")]
+pub use server::Server;

@@ -1,0 +1,119 @@
+//! `mps-serve` — serve persisted multi-placement structures over a
+//! line-delimited JSON protocol.
+//!
+//! ```sh
+//! mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N]
+//! ```
+//!
+//! Loads every `*.mps.json` / `*.json` artifact in `ARTIFACT_DIR`
+//! (re-validating the `mps-v1` envelope and cross-checking the compiled
+//! query index against the structure's own query path), then answers one
+//! JSON request per stdin line with one JSON response per stdout line.
+//! With `--tcp PORT` the same protocol is additionally served on
+//! `127.0.0.1:PORT` (`PORT` 0 picks a free port; the chosen port is
+//! announced on stderr). Diagnostics go to stderr only — stdout carries
+//! nothing but response lines.
+
+use mps_serve::{Server, StructureRegistry};
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<String> = None;
+    let mut tcp_port: Option<u16> = None;
+    let mut workers: usize = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tcp" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(port)) => tcp_port = Some(port),
+                _ => return usage(),
+            },
+            "--workers" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => workers = n,
+                _ => return usage(),
+            },
+            "--help" | "-h" => {
+                // An explicit help request is a success, not an error.
+                println!("usage: mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N]");
+                return ExitCode::SUCCESS;
+            }
+            _ if dir.is_none() && !arg.starts_with("--") => dir = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(dir) = dir else {
+        return usage();
+    };
+
+    let registry = match StructureRegistry::open(&dir) {
+        Ok(registry) => Arc::new(registry),
+        Err(e) => {
+            eprintln!("mps-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "mps-serve: serving {} structure(s) from {dir}: {}",
+        registry.len(),
+        registry.names().join(", ")
+    );
+    let server = Arc::new(Server::new(Arc::clone(&registry), workers));
+
+    // Optional localhost TCP side: one thread per connection, all sharing
+    // the same registry snapshots and worker pool.
+    let tcp_thread = match tcp_port {
+        Some(port) => {
+            let listener = match TcpListener::bind(("127.0.0.1", port)) {
+                Ok(listener) => listener,
+                Err(e) => {
+                    eprintln!("mps-serve: cannot bind 127.0.0.1:{port}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let local = listener
+                .local_addr()
+                .expect("bound listener has an address");
+            eprintln!("mps-serve: tcp listening on {local}");
+            let tcp_server = Arc::clone(&server);
+            Some(std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    let conn_server = Arc::clone(&tcp_server);
+                    std::thread::spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(read_half) => BufReader::new(read_half),
+                            Err(_) => return,
+                        };
+                        // Client disconnects surface as I/O errors; the
+                        // connection thread just ends.
+                        let _ = conn_server.serve(reader, stream);
+                    });
+                }
+            }))
+        }
+        None => None,
+    };
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(e) = server.serve(stdin.lock(), stdout.lock()) {
+        eprintln!("mps-serve: stdin stream failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // stdin is done; if a TCP listener is up, keep serving it until the
+    // process is killed.
+    if let Some(handle) = tcp_thread {
+        let _ = handle.join();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,374 @@
+//! The wire protocol: one JSON request per line in, one JSON response
+//! per line out.
+//!
+//! Requests are JSON objects with a `kind` member naming one of the five
+//! request kinds (see [`REQUEST_KINDS`]); responses are JSON objects with
+//! an `ok` boolean. A failed request yields
+//! `{"ok":false,"error":{"kind":..,"message":..}}` with a typed error
+//! kind — malformed input of any sort is answered, never fatal. Blank
+//! lines are ignored.
+//!
+//! ```text
+//! → {"kind":"query","structure":"circ02","dims":[[30,40],[25,25],...]}
+//! ← {"ok":true,"kind":"query","structure":"circ02","id":13}
+//! ```
+
+use mps_geom::Coord;
+use serde::{Map, Serialize, Value};
+
+/// Every request kind the server understands, as spelled on the wire.
+pub const REQUEST_KINDS: [&str; 5] = [
+    "query",
+    "batch_query",
+    "instantiate",
+    "stats",
+    "list_structures",
+];
+
+/// A parsed, not-yet-validated client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Look up the placement id covering one dimension vector.
+    Query {
+        /// Registry name of the target structure.
+        structure: String,
+        /// One `(w, h)` pair per block.
+        dims: Vec<(Coord, Coord)>,
+    },
+    /// Look up a whole stream of dimension vectors in one round trip.
+    BatchQuery {
+        /// Registry name of the target structure.
+        structure: String,
+        /// The dimension vectors, answered element-wise.
+        dims_list: Vec<Vec<(Coord, Coord)>>,
+    },
+    /// Materialize the placement (block coordinates) for one vector,
+    /// falling back to the backup packing in uncovered space.
+    Instantiate {
+        /// Registry name of the target structure.
+        structure: String,
+        /// One `(w, h)` pair per block.
+        dims: Vec<(Coord, Coord)>,
+    },
+    /// Server and per-structure counters.
+    Stats,
+    /// Sorted names of every served structure.
+    ListStructures,
+}
+
+/// Typed reason a request was refused. The wire spelling is
+/// [`ErrorKind::as_str`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line is not syntactically valid JSON.
+    Parse,
+    /// Valid JSON that does not follow the request schema (not an
+    /// object, missing/ill-typed members, malformed dims pairs).
+    Protocol,
+    /// The `kind` member names no known request kind.
+    UnknownKind,
+    /// The addressed structure is not in the registry.
+    UnknownStructure,
+    /// A dimension vector's length differs from the structure's block
+    /// count.
+    BadArity,
+    /// A dimension value escapes the structure's designer bounds (only
+    /// instantiation rejects this — the fallback packing guarantees
+    /// legality only inside the bounds; queries answer `id: null`).
+    OutOfBounds,
+    /// A handler failed internally; the server keeps serving.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire spelling of this error kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::UnknownKind => "unknown_kind",
+            ErrorKind::UnknownStructure => "unknown_structure",
+            ErrorKind::BadArity => "bad_arity",
+            ErrorKind::OutOfBounds => "out_of_bounds",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A typed request failure, rendered as the `error` member of a
+/// `{"ok":false}` response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// What class of failure this is.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RequestError {
+    /// Creates a typed request failure.
+    #[must_use]
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+/// Parses one request line. Schema errors come back typed; nothing here
+/// panics on any input (the underlying parser is depth-capped).
+///
+/// # Errors
+///
+/// Returns a [`RequestError`] of kind `parse`, `protocol` or
+/// `unknown_kind` (structure-dependent validation — unknown names, arity,
+/// bounds — happens later, in the server, where the registry is known).
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let value =
+        serde_json::parse(line).map_err(|e| RequestError::new(ErrorKind::Parse, e.to_string()))?;
+    let Some(obj) = value.as_object() else {
+        return Err(RequestError::new(
+            ErrorKind::Protocol,
+            format!("request must be a JSON object, found {}", value.kind()),
+        ));
+    };
+    let kind = obj
+        .get("kind")
+        .ok_or_else(|| RequestError::new(ErrorKind::Protocol, "missing `kind` member"))?;
+    let Some(kind) = kind.as_str() else {
+        return Err(RequestError::new(
+            ErrorKind::Protocol,
+            format!("`kind` must be a string, found {}", kind.kind()),
+        ));
+    };
+    match kind {
+        "query" => Ok(Request::Query {
+            structure: required_string(obj, "structure")?,
+            dims: dims_vector(obj.get("dims"), "dims")?,
+        }),
+        "batch_query" => {
+            let structure = required_string(obj, "structure")?;
+            let raw = obj.get("dims_list").ok_or_else(|| {
+                RequestError::new(ErrorKind::Protocol, "missing `dims_list` member")
+            })?;
+            let Some(items) = raw.as_array() else {
+                return Err(RequestError::new(
+                    ErrorKind::Protocol,
+                    format!("`dims_list` must be an array, found {}", raw.kind()),
+                ));
+            };
+            let dims_list = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| dims_vector(Some(item), &format!("dims_list[{i}]")))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::BatchQuery {
+                structure,
+                dims_list,
+            })
+        }
+        "instantiate" => Ok(Request::Instantiate {
+            structure: required_string(obj, "structure")?,
+            dims: dims_vector(obj.get("dims"), "dims")?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "list_structures" => Ok(Request::ListStructures),
+        other => Err(RequestError::new(
+            ErrorKind::UnknownKind,
+            format!(
+                "unknown request kind `{other}` (this server speaks {})",
+                REQUEST_KINDS.join(", ")
+            ),
+        )),
+    }
+}
+
+fn required_string(obj: &Map, member: &str) -> Result<String, RequestError> {
+    let value = obj.get(member).ok_or_else(|| {
+        RequestError::new(ErrorKind::Protocol, format!("missing `{member}` member"))
+    })?;
+    value.as_str().map(str::to_owned).ok_or_else(|| {
+        RequestError::new(
+            ErrorKind::Protocol,
+            format!("`{member}` must be a string, found {}", value.kind()),
+        )
+    })
+}
+
+/// Decodes a `[[w, h], ...]` dimension vector.
+fn dims_vector(value: Option<&Value>, member: &str) -> Result<Vec<(Coord, Coord)>, RequestError> {
+    let value = value.ok_or_else(|| {
+        RequestError::new(ErrorKind::Protocol, format!("missing `{member}` member"))
+    })?;
+    let Some(pairs) = value.as_array() else {
+        return Err(RequestError::new(
+            ErrorKind::Protocol,
+            format!(
+                "`{member}` must be an array of [w, h] pairs, found {}",
+                value.kind()
+            ),
+        ));
+    };
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, pair)| {
+            let Some(wh) = pair.as_array() else {
+                return Err(RequestError::new(
+                    ErrorKind::Protocol,
+                    format!(
+                        "`{member}[{i}]` must be a [w, h] pair, found {}",
+                        pair.kind()
+                    ),
+                ));
+            };
+            if wh.len() != 2 {
+                return Err(RequestError::new(
+                    ErrorKind::Protocol,
+                    format!(
+                        "`{member}[{i}]` must hold exactly 2 values, found {}",
+                        wh.len()
+                    ),
+                ));
+            }
+            let coord = |v: &Value, axis: &str| {
+                v.as_i64().ok_or_else(|| {
+                    RequestError::new(
+                        ErrorKind::Protocol,
+                        format!(
+                            "`{member}[{i}]` {axis} must be an integer, found {}",
+                            v.kind()
+                        ),
+                    )
+                })
+            };
+            Ok((coord(&wh[0], "width")?, coord(&wh[1], "height")?))
+        })
+        .collect()
+}
+
+/// Renders a `{"ok":false,"error":{...}}` response line (without the
+/// trailing newline).
+#[must_use]
+pub fn error_response(error: &RequestError) -> String {
+    let mut inner = Map::new();
+    inner.insert("kind", Value::String(error.kind.as_str().to_owned()));
+    inner.insert("message", Value::String(error.message.clone()));
+    let mut map = Map::new();
+    map.insert("ok", Value::Bool(false));
+    map.insert("error", Value::Object(inner));
+    render(map)
+}
+
+/// Starts a `{"ok":true,"kind":...}` response object for `kind`.
+#[must_use]
+pub fn ok_header(kind: &str) -> Map {
+    let mut map = Map::new();
+    map.insert("ok", Value::Bool(true));
+    map.insert("kind", Value::String(kind.to_owned()));
+    map
+}
+
+/// Renders a response object to its wire line (no trailing newline).
+#[must_use]
+pub fn render(map: Map) -> String {
+    serde_json::to_string(&Value::Object(map)).expect("value trees always serialize")
+}
+
+/// An optional placement id as its wire value (`id` or `null`).
+#[must_use]
+pub fn id_value(id: Option<mps_core::PlacementId>) -> Value {
+    match id {
+        Some(id) => id.0.to_value(),
+        None => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_request_kind() {
+        assert_eq!(
+            parse_request(r#"{"kind":"query","structure":"s","dims":[[1,2],[3,4]]}"#).unwrap(),
+            Request::Query {
+                structure: "s".into(),
+                dims: vec![(1, 2), (3, 4)],
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"kind":"batch_query","structure":"s","dims_list":[[[1,2]],[[3,4]]]}"#
+            )
+            .unwrap(),
+            Request::BatchQuery {
+                structure: "s".into(),
+                dims_list: vec![vec![(1, 2)], vec![(3, 4)]],
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"instantiate","structure":"s","dims":[[-5,7]]}"#).unwrap(),
+            Request::Instantiate {
+                structure: "s".into(),
+                dims: vec![(-5, 7)],
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"stats"}"#).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"list_structures"}"#).unwrap(),
+            Request::ListStructures
+        );
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_requests() {
+        let kind_of = |line: &str| parse_request(line).unwrap_err().kind;
+        assert_eq!(kind_of("{\"kind\":"), ErrorKind::Parse);
+        assert_eq!(kind_of("[1,2]"), ErrorKind::Protocol);
+        assert_eq!(kind_of("{}"), ErrorKind::Protocol);
+        assert_eq!(kind_of(r#"{"kind":7}"#), ErrorKind::Protocol);
+        assert_eq!(kind_of(r#"{"kind":"frobnicate"}"#), ErrorKind::UnknownKind);
+        assert_eq!(
+            kind_of(r#"{"kind":"query","dims":[[1,2]]}"#),
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            kind_of(r#"{"kind":"query","structure":"s","dims":[[1,2,3]]}"#),
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            kind_of(r#"{"kind":"query","structure":"s","dims":[["a",2]]}"#),
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            kind_of(r#"{"kind":"batch_query","structure":"s","dims_list":[7]}"#),
+            ErrorKind::Protocol
+        );
+    }
+
+    #[test]
+    fn error_lines_are_well_formed() {
+        let line = error_response(&RequestError::new(ErrorKind::BadArity, "want 5, got 3"));
+        let value = serde_json::parse(&line).unwrap();
+        assert_eq!(value.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            value
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str),
+            Some("bad_arity")
+        );
+    }
+}

@@ -1,0 +1,460 @@
+//! The structure registry: persisted `mps-v1` artifacts loaded from a
+//! directory, compiled, and hot-swapped behind an `Arc`.
+//!
+//! Serving follows the paper's *generate once, use everywhere* economics:
+//! structures are generated (and `--save`d) elsewhere; the serving
+//! process only ever loads, validates, compiles and answers. The registry
+//! keeps one immutable [`ServedStructure`] per artifact and publishes the
+//! whole directory as an `Arc<HashMap<..>>` snapshot:
+//!
+//! * readers call [`StructureRegistry::snapshot`] (or
+//!   [`StructureRegistry::get`]) and keep answering from their snapshot
+//!   without ever taking a lock on the hot path;
+//! * [`StructureRegistry::reload`] rescans the directory, loads and
+//!   re-validates every artifact *off to the side*, and only then swaps
+//!   the published `Arc` — in-flight queries keep their old snapshot
+//!   alive until they finish (no torn state, no serving pause).
+
+use crate::compiled::CompiledQueryIndex;
+use mps_core::{MultiPlacementStructure, PersistError};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+/// Probes [`CompiledQueryIndex::verify_against`] runs per artifact load.
+const LOAD_CHECK_PROBES: usize = 128;
+
+/// Why the registry could not load or reload artifacts.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Reading the artifact directory failed.
+    Io(std::io::Error),
+    /// One artifact failed to load or validate as an `mps-v1` envelope.
+    Load {
+        /// The offending artifact file.
+        path: PathBuf,
+        /// The loader's rejection.
+        source: PersistError,
+    },
+    /// The compiled index disagreed with the structure's own query path —
+    /// a compiler bug; the artifact is refused rather than served wrong.
+    Equivalence {
+        /// The offending artifact file.
+        path: PathBuf,
+        /// The first diverging probe.
+        detail: String,
+    },
+    /// Two artifact files normalize to the same registry name (e.g.
+    /// `circ02.mps.json` and `circ02.json`). Serving either one silently
+    /// would mask a deployment mistake, so the whole load is refused.
+    DuplicateName {
+        /// The contested registry name.
+        name: String,
+        /// The two files claiming it.
+        paths: [PathBuf; 2],
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "cannot scan artifact directory: {e}"),
+            ServeError::Load { path, source } => {
+                write!(f, "cannot serve {}: {source}", path.display())
+            }
+            ServeError::Equivalence { path, detail } => write!(
+                f,
+                "refusing to serve {}: compiled index diverges from the \
+                 structure's query path ({detail})",
+                path.display()
+            ),
+            ServeError::DuplicateName { name, paths } => write!(
+                f,
+                "artifacts {} and {} both claim the name `{name}`; \
+                 rename one so every structure has an unambiguous address",
+                paths[0].display(),
+                paths[1].display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Load { source, .. } => Some(source),
+            ServeError::Equivalence { .. } | ServeError::DuplicateName { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// One loaded artifact: the validated structure plus its compiled index,
+/// immutable for its whole serving life.
+#[derive(Debug)]
+pub struct ServedStructure {
+    name: String,
+    path: Option<PathBuf>,
+    structure: MultiPlacementStructure,
+    index: CompiledQueryIndex,
+}
+
+impl ServedStructure {
+    /// Loads an `mps-v1` artifact, re-validating every invariant, and
+    /// compiles its query index, cross-checking the compiled plan against
+    /// the interpretive path before the structure is ever served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Load`] when the artifact is missing,
+    /// malformed, wrong-format or invariant-violating, and
+    /// [`ServeError::Equivalence`] when the compiled index diverges.
+    pub fn open(name: impl Into<String>, path: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        let path = path.into();
+        let structure =
+            MultiPlacementStructure::load_json(&path).map_err(|source| ServeError::Load {
+                path: path.clone(),
+                source,
+            })?;
+        let mut served = Self::from_structure(name, structure);
+        served.path = Some(path);
+        Ok(served)
+    }
+
+    /// Wraps an in-memory structure (tests, examples, freshly generated
+    /// structures served without a save/load cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compiled index diverges from the structure's own
+    /// query path — that is a compiler bug, never valid input.
+    #[must_use]
+    pub fn from_structure(name: impl Into<String>, structure: MultiPlacementStructure) -> Self {
+        let name = name.into();
+        let index = CompiledQueryIndex::build(&structure);
+        index
+            .verify_against(&structure, LOAD_CHECK_PROBES, 0x5EED_C0DE)
+            .unwrap_or_else(|detail| {
+                panic!("compiled index diverges for structure `{name}`: {detail}")
+            });
+        Self {
+            name,
+            path: None,
+            structure,
+            index,
+        }
+    }
+
+    /// The name clients address the structure by (the artifact file stem,
+    /// `circ02` for `circ02.mps.json`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The artifact file this structure was loaded from, if any.
+    #[must_use]
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// The validated structure (fallback instantiation, stats, and the
+    /// reference query path).
+    #[must_use]
+    pub fn structure(&self) -> &MultiPlacementStructure {
+        &self.structure
+    }
+
+    /// The compiled query plan (the serving hot path).
+    #[must_use]
+    pub fn index(&self) -> &CompiledQueryIndex {
+        &self.index
+    }
+}
+
+/// What a [`StructureRegistry::reload`] changed.
+#[derive(Debug, Default)]
+pub struct ReloadReport {
+    /// Names now being served (post-swap).
+    pub serving: usize,
+    /// Names that were not served before this reload.
+    pub added: Vec<String>,
+    /// Names that were served before and are gone now.
+    pub removed: Vec<String>,
+}
+
+type Snapshot = Arc<HashMap<String, Arc<ServedStructure>>>;
+
+/// The set of structures a server answers for, hot-swappable as a whole.
+///
+/// See the module docs for the snapshot discipline. All methods are
+/// `&self`; the registry is shared as `Arc<StructureRegistry>` between
+/// the stdin loop, TCP connection threads and the worker pool.
+#[derive(Debug)]
+pub struct StructureRegistry {
+    dir: Option<PathBuf>,
+    map: RwLock<Snapshot>,
+}
+
+impl StructureRegistry {
+    /// Loads every `*.json` artifact in `dir` (the layout `--save`
+    /// writes: one `<name>.mps.json` per structure).
+    ///
+    /// An empty directory yields an empty registry — valid, it serves
+    /// `list_structures`/`stats` and typed errors until a reload finds
+    /// artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the directory cannot be scanned or any
+    /// artifact fails validation: serving a subset silently would mask
+    /// deployment mistakes.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        let dir = dir.into();
+        let map = scan_dir(&dir)?;
+        Ok(Self {
+            dir: Some(dir),
+            map: RwLock::new(Arc::new(map)),
+        })
+    }
+
+    /// An empty registry with no backing directory (tests, examples;
+    /// populate with [`StructureRegistry::publish`]).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self {
+            dir: None,
+            map: RwLock::new(Arc::new(HashMap::new())),
+        }
+    }
+
+    /// The current immutable snapshot. Hold it for the duration of one
+    /// request; a concurrent reload swaps the registry without
+    /// invalidating snapshots already taken.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Arc::clone(&self.map.read().expect("registry lock poisoned"))
+    }
+
+    /// The served structure behind `name`, if any.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<ServedStructure>> {
+        self.snapshot().get(name).cloned()
+    }
+
+    /// Sorted names of every served structure.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.snapshot().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of structures currently served.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// Whether the registry serves no structures.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// Publishes (or replaces) one structure by name: copy-on-write on
+    /// the snapshot map, single `Arc` swap, readers never blocked.
+    pub fn publish(&self, served: ServedStructure) {
+        let served = Arc::new(served);
+        let mut guard = self.map.write().expect("registry lock poisoned");
+        let mut next: HashMap<String, Arc<ServedStructure>> = (**guard).clone();
+        next.insert(served.name().to_owned(), served);
+        *guard = Arc::new(next);
+    }
+
+    /// Rescans the backing directory, loads and validates every artifact
+    /// off to the side, then swaps the published snapshot in one step.
+    /// On any error the old snapshot stays live untouched.
+    ///
+    /// A registry without a backing directory reloads to itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the scan or any artifact load fails;
+    /// the registry then keeps serving its previous snapshot.
+    pub fn reload(&self) -> Result<ReloadReport, ServeError> {
+        let Some(dir) = &self.dir else {
+            return Ok(ReloadReport {
+                serving: self.len(),
+                ..ReloadReport::default()
+            });
+        };
+        let next = Arc::new(scan_dir(dir)?);
+        let prev = {
+            let mut guard = self.map.write().expect("registry lock poisoned");
+            std::mem::replace(&mut *guard, Arc::clone(&next))
+        };
+        let mut added: Vec<String> = next
+            .keys()
+            .filter(|n| !prev.contains_key(*n))
+            .cloned()
+            .collect();
+        let mut removed: Vec<String> = prev
+            .keys()
+            .filter(|n| !next.contains_key(*n))
+            .cloned()
+            .collect();
+        added.sort_unstable();
+        removed.sort_unstable();
+        Ok(ReloadReport {
+            serving: next.len(),
+            added,
+            removed,
+        })
+    }
+}
+
+/// Loads every JSON artifact in `dir` into a fresh map.
+fn scan_dir(dir: &Path) -> Result<HashMap<String, Arc<ServedStructure>>, ServeError> {
+    let mut map = HashMap::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if !path.is_file() || path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        let name = stem.strip_suffix(".mps").unwrap_or(stem).to_owned();
+        if name.is_empty() {
+            continue;
+        }
+        let served = ServedStructure::open(name.clone(), &path)?;
+        if let Some(prev) = map.insert(name.clone(), Arc::new(served)) {
+            return Err(ServeError::DuplicateName {
+                name,
+                paths: [prev.path().map(PathBuf::from).unwrap_or_default(), path],
+            });
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_core::{GeneratorConfig, MpsGenerator};
+    use mps_netlist::benchmarks;
+
+    fn tiny_structure(seed: u64) -> MultiPlacementStructure {
+        let circuit = benchmarks::circ01();
+        let config = GeneratorConfig::builder()
+            .outer_iterations(25)
+            .inner_iterations(25)
+            .seed(seed)
+            .build();
+        MpsGenerator::new(&circuit, config).generate().unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mps_serve_registry_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn open_loads_and_reload_hot_swaps() {
+        let dir = temp_dir("swap");
+        tiny_structure(1)
+            .save_json(dir.join("alpha.mps.json"))
+            .unwrap();
+        let registry = StructureRegistry::open(&dir).unwrap();
+        assert_eq!(registry.names(), vec!["alpha"]);
+
+        // A reader takes a snapshot before the swap ...
+        let before = registry.get("alpha").unwrap();
+
+        tiny_structure(2)
+            .save_json(dir.join("beta.mps.json"))
+            .unwrap();
+        std::fs::remove_file(dir.join("alpha.mps.json")).unwrap();
+        let report = registry.reload().unwrap();
+        assert_eq!(report.serving, 1);
+        assert_eq!(report.added, vec!["beta"]);
+        assert_eq!(report.removed, vec!["alpha"]);
+        assert_eq!(registry.names(), vec!["beta"]);
+
+        // ... and the old snapshot keeps answering after the swap.
+        let dims = benchmarks::circ01().min_dims();
+        assert_eq!(before.index().query(&dims), before.structure().query(&dims));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_artifact_is_refused_and_old_snapshot_survives() {
+        let dir = temp_dir("bad");
+        tiny_structure(3)
+            .save_json(dir.join("good.mps.json"))
+            .unwrap();
+        let registry = StructureRegistry::open(&dir).unwrap();
+        std::fs::write(dir.join("evil.mps.json"), "{\"format\":\"mps-v1\",").unwrap();
+        let err = registry.reload().unwrap_err();
+        assert!(matches!(err, ServeError::Load { .. }), "{err}");
+        // Failed reload leaves the previous snapshot serving.
+        assert_eq!(registry.names(), vec!["good"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn colliding_artifact_names_are_refused() {
+        let dir = temp_dir("collide");
+        tiny_structure(7)
+            .save_json(dir.join("alpha.mps.json"))
+            .unwrap();
+        // A second file normalizing to the same name: refusing beats
+        // silently serving whichever one read_dir yields last.
+        tiny_structure(8).save_json(dir.join("alpha.json")).unwrap();
+        let err = StructureRegistry::open(&dir).unwrap_err();
+        assert!(matches!(err, ServeError::DuplicateName { .. }), "{err}");
+        assert!(err.to_string().contains("alpha"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_json_files_are_ignored() {
+        let dir = temp_dir("ignore");
+        tiny_structure(4)
+            .save_json(dir.join("only.mps.json"))
+            .unwrap();
+        std::fs::write(dir.join("README.txt"), "not an artifact").unwrap();
+        let registry = StructureRegistry::open(&dir).unwrap();
+        assert_eq!(registry.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_publish_and_empty_dir() {
+        let registry = StructureRegistry::in_memory();
+        assert!(registry.is_empty());
+        registry.publish(ServedStructure::from_structure("mem", tiny_structure(5)));
+        assert_eq!(registry.names(), vec!["mem"]);
+        assert!(registry.get("mem").unwrap().path().is_none());
+        let report = registry.reload().unwrap();
+        assert_eq!(report.serving, 1);
+
+        let dir = temp_dir("empty");
+        let empty = StructureRegistry::open(&dir).unwrap();
+        assert!(empty.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

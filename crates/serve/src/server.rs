@@ -1,0 +1,417 @@
+//! Request dispatch: the engine behind the `mps-serve` binary.
+//!
+//! [`Server::handle_line`] turns one protocol line into one response
+//! line; [`Server::serve`] pumps any `BufRead`/`Write` pair (stdin/stdout
+//! or one TCP connection) through it. The server never dies on input: a
+//! malformed line yields a typed error response, and a panicking handler
+//! is caught and answered as an `internal` error.
+
+use crate::pool::WorkerPool;
+use crate::protocol::{
+    error_response, id_value, ok_header, parse_request, ErrorKind, Request, RequestError,
+};
+use crate::registry::{ServedStructure, StructureRegistry};
+use mps_core::PlacementId;
+use mps_geom::Coord;
+use serde::{Map, Serialize, Value};
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Batches at or above this many vectors fan out over the worker pool.
+const PARALLEL_BATCH_THRESHOLD: usize = 256;
+
+/// The query-serving engine: a registry snapshot discipline on the read
+/// side, a worker pool on the instantiation side, and counters for the
+/// `stats` request.
+#[derive(Debug)]
+pub struct Server {
+    registry: Arc<StructureRegistry>,
+    pool: WorkerPool,
+    started: Instant,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    queries: AtomicU64,
+    instantiations: AtomicU64,
+}
+
+impl Server {
+    /// Creates a server over `registry` with `workers` pool threads
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn new(registry: Arc<StructureRegistry>, workers: usize) -> Self {
+        Self {
+            registry,
+            pool: WorkerPool::new(workers),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            instantiations: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry this server answers from.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<StructureRegistry> {
+        &self.registry
+    }
+
+    /// Answers one protocol line. Returns `None` for blank lines (no
+    /// response is written for them); every non-blank line gets exactly
+    /// one response line, errors included.
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let result = parse_request(line).and_then(|request| {
+            // A handler bug must cost one error response, not the server.
+            catch_unwind(AssertUnwindSafe(|| self.dispatch(request))).unwrap_or_else(|_| {
+                Err(RequestError::new(
+                    ErrorKind::Internal,
+                    "request handler panicked; the server keeps serving",
+                ))
+            })
+        });
+        Some(match result {
+            Ok(map) => crate::protocol::render(map),
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                error_response(&e)
+            }
+        })
+    }
+
+    /// Pumps requests from `reader` to `writer` until EOF. Each response
+    /// line is flushed immediately so pipelined clients never stall.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error on either side.
+    pub fn serve<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if let Some(response) = self.handle_line(&line) {
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn dispatch(&self, request: Request) -> Result<Map, RequestError> {
+        match request {
+            Request::Query { structure, dims } => {
+                let served = self.lookup(&structure)?;
+                self.check_arity(&served, &dims)?;
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                let id = served.index().query(&dims);
+                let mut map = ok_header("query");
+                map.insert("structure", Value::String(structure));
+                map.insert("id", id_value(id));
+                Ok(map)
+            }
+            Request::BatchQuery {
+                structure,
+                dims_list,
+            } => {
+                let served = self.lookup(&structure)?;
+                for dims in &dims_list {
+                    self.check_arity(&served, dims)?;
+                }
+                self.queries
+                    .fetch_add(dims_list.len() as u64, Ordering::Relaxed);
+                let ids = self.batch_ids(&served, dims_list)?;
+                let mut map = ok_header("batch_query");
+                map.insert("structure", Value::String(structure));
+                map.insert("ids", Value::Array(ids.into_iter().map(id_value).collect()));
+                Ok(map)
+            }
+            Request::Instantiate { structure, dims } => {
+                let served = self.lookup(&structure)?;
+                self.check_arity(&served, &dims)?;
+                self.check_bounds(&served, &dims)?;
+                self.instantiations.fetch_add(1, Ordering::Relaxed);
+                // Instantiation clones coordinate vectors (or packs a
+                // fallback) — the expensive request kind, so it runs on
+                // the worker pool.
+                let worker_input = Arc::clone(&served);
+                let (id, placement) = self
+                    .pool
+                    .run(move || {
+                        // One compiled lookup decides both the id and the
+                        // placement; only uncovered space falls through to
+                        // the structure's fallback path.
+                        let id = worker_input.index().query(&dims);
+                        let placement = match id.and_then(|id| worker_input.structure().entry(id)) {
+                            Some(entry) => entry.placement.clone(),
+                            None => worker_input.structure().instantiate_or_fallback(&dims),
+                        };
+                        (id, placement)
+                    })
+                    .map_err(|_| {
+                        RequestError::new(ErrorKind::Internal, "instantiation worker panicked")
+                    })?;
+                let mut map = ok_header("instantiate");
+                map.insert("structure", Value::String(structure));
+                map.insert("id", id_value(id));
+                map.insert("fallback", Value::Bool(id.is_none()));
+                map.insert(
+                    "coords",
+                    Value::Array(
+                        placement
+                            .coords()
+                            .iter()
+                            .map(|p| Value::Array(vec![p.x.to_value(), p.y.to_value()]))
+                            .collect(),
+                    ),
+                );
+                Ok(map)
+            }
+            Request::Stats => Ok(self.stats()),
+            Request::ListStructures => {
+                let mut map = ok_header("list_structures");
+                map.insert(
+                    "names",
+                    Value::Array(
+                        self.registry
+                            .names()
+                            .into_iter()
+                            .map(Value::String)
+                            .collect(),
+                    ),
+                );
+                Ok(map)
+            }
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Result<Arc<ServedStructure>, RequestError> {
+        self.registry.get(name).ok_or_else(|| {
+            RequestError::new(
+                ErrorKind::UnknownStructure,
+                format!(
+                    "no structure `{name}` in the registry (serving: {})",
+                    self.registry.names().join(", ")
+                ),
+            )
+        })
+    }
+
+    fn check_arity(
+        &self,
+        served: &ServedStructure,
+        dims: &[(Coord, Coord)],
+    ) -> Result<(), RequestError> {
+        let blocks = served.structure().block_count();
+        if dims.len() != blocks {
+            return Err(RequestError::new(
+                ErrorKind::BadArity,
+                format!(
+                    "structure `{}` covers {blocks} blocks, got {} dimension pairs",
+                    served.name(),
+                    dims.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_bounds(
+        &self,
+        served: &ServedStructure,
+        dims: &[(Coord, Coord)],
+    ) -> Result<(), RequestError> {
+        for (i, (&(w, h), b)) in dims.iter().zip(served.structure().bounds()).enumerate() {
+            if !b.w.contains(w) || !b.h.contains(h) {
+                return Err(RequestError::new(
+                    ErrorKind::OutOfBounds,
+                    format!(
+                        "block {i} dimensions ({w}, {h}) escape the designer bounds \
+                         w{:?} x h{:?} of structure `{}`",
+                        b.w,
+                        b.h,
+                        served.name()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers a batch: sequentially through one scratch buffer for small
+    /// batches, fanned out in chunks over the worker pool for large ones.
+    fn batch_ids(
+        &self,
+        served: &Arc<ServedStructure>,
+        dims_list: Vec<Vec<(Coord, Coord)>>,
+    ) -> Result<Vec<Option<PlacementId>>, RequestError> {
+        if dims_list.len() < PARALLEL_BATCH_THRESHOLD || self.pool.workers() == 1 {
+            return Ok(served.index().query_batch(&dims_list));
+        }
+        let chunk_len = dims_list.len().div_ceil(self.pool.workers() * 4);
+        let chunks: Vec<Vec<Vec<(Coord, Coord)>>> = dims_list
+            .chunks(chunk_len)
+            .map(<[Vec<(Coord, Coord)>]>::to_vec)
+            .collect();
+        let worker_input = Arc::clone(served);
+        let answered = self
+            .pool
+            .map_in_order(chunks, move |chunk| {
+                worker_input.index().query_batch(&chunk)
+            })
+            .map_err(|_| RequestError::new(ErrorKind::Internal, "batch worker panicked"))?;
+        Ok(answered.into_iter().flatten().collect())
+    }
+
+    fn stats(&self) -> Map {
+        let snapshot = self.registry.snapshot();
+        let mut names: Vec<&String> = snapshot.keys().collect();
+        names.sort_unstable();
+        let structures: Vec<Value> = names
+            .into_iter()
+            .map(|name| {
+                let served = &snapshot[name];
+                let mut s = Map::new();
+                s.insert("name", Value::String(name.clone()));
+                s.insert("blocks", served.structure().block_count().to_value());
+                s.insert(
+                    "placements",
+                    served.structure().placement_count().to_value(),
+                );
+                s.insert(
+                    "compiled_segments",
+                    served.index().segment_count().to_value(),
+                );
+                s.insert("bitset_words", served.index().bitset_words().to_value());
+                s.insert(
+                    "compiled_heap_bytes",
+                    served.index().heap_bytes().to_value(),
+                );
+                Value::Object(s)
+            })
+            .collect();
+        let mut counters = Map::new();
+        counters.insert("requests", self.requests.load(Ordering::Relaxed).to_value());
+        counters.insert("errors", self.errors.load(Ordering::Relaxed).to_value());
+        counters.insert("queries", self.queries.load(Ordering::Relaxed).to_value());
+        counters.insert(
+            "instantiations",
+            self.instantiations.load(Ordering::Relaxed).to_value(),
+        );
+        let mut map = ok_header("stats");
+        map.insert(
+            "uptime_ms",
+            u64::try_from(self.started.elapsed().as_millis())
+                .unwrap_or(u64::MAX)
+                .to_value(),
+        );
+        map.insert("workers", self.pool.workers().to_value());
+        map.insert("counters", Value::Object(counters));
+        map.insert("structures", Value::Array(structures));
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_core::{GeneratorConfig, MpsGenerator};
+    use mps_netlist::benchmarks;
+
+    fn test_server() -> Server {
+        let circuit = benchmarks::circ01();
+        let config = GeneratorConfig::builder()
+            .outer_iterations(30)
+            .inner_iterations(30)
+            .seed(11)
+            .build();
+        let mps = MpsGenerator::new(&circuit, config).generate().unwrap();
+        let registry = StructureRegistry::in_memory();
+        registry.publish(ServedStructure::from_structure("circ01", mps));
+        Server::new(Arc::new(registry), 2)
+    }
+
+    fn parse(line: &str) -> Value {
+        serde_json::parse(line).expect("responses are valid JSON")
+    }
+
+    #[test]
+    fn query_answers_match_direct_path() {
+        let server = test_server();
+        let served = server.registry().get("circ01").unwrap();
+        let dims: Vec<(Coord, Coord)> = served
+            .structure()
+            .bounds()
+            .iter()
+            .map(|b| (b.w.midpoint(), b.h.midpoint()))
+            .collect();
+        let pairs: Vec<String> = dims.iter().map(|(w, h)| format!("[{w},{h}]")).collect();
+        let line = format!(
+            r#"{{"kind":"query","structure":"circ01","dims":[{}]}}"#,
+            pairs.join(",")
+        );
+        let response = parse(&server.handle_line(&line).unwrap());
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+        let expected = served.structure().query(&dims);
+        assert_eq!(
+            response.get("id").and_then(Value::as_u64),
+            expected.map(|id| u64::from(id.0))
+        );
+    }
+
+    #[test]
+    fn blank_lines_are_ignored_and_stats_count_requests() {
+        let server = test_server();
+        assert!(server.handle_line("").is_none());
+        assert!(server.handle_line("   ").is_none());
+        let _ = server.handle_line(r#"{"kind":"list_structures"}"#).unwrap();
+        let _ = server.handle_line("not json").unwrap();
+        let stats = parse(&server.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        let counters = stats.get("counters").unwrap();
+        assert_eq!(counters.get("requests").and_then(Value::as_u64), Some(3));
+        assert_eq!(counters.get("errors").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn serve_pumps_a_stream() {
+        let server = test_server();
+        let input = b"{\"kind\":\"list_structures\"}\n\n{\"kind\":\"stats\"}\n".to_vec();
+        let mut output = Vec::new();
+        server.serve(&input[..], &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one response per non-blank request line");
+        assert!(lines[0].contains("circ01"));
+        assert!(lines[1].contains("\"kind\":\"stats\""));
+    }
+
+    #[test]
+    fn large_batch_fans_out_and_matches_sequential() {
+        let server = test_server();
+        let served = server.registry().get("circ01").unwrap();
+        let bounds = served.structure().bounds().to_vec();
+        let vector = |k: usize| -> Vec<(Coord, Coord)> {
+            bounds
+                .iter()
+                .map(|b| {
+                    (
+                        b.w.lo() + (k as Coord * 7) % (b.w.len() as Coord),
+                        b.h.lo() + (k as Coord * 13) % (b.h.len() as Coord),
+                    )
+                })
+                .collect()
+        };
+        let dims_list: Vec<Vec<(Coord, Coord)>> =
+            (0..PARALLEL_BATCH_THRESHOLD + 100).map(vector).collect();
+        let expected = served.structure().query_batch(&dims_list);
+        let pooled = server.batch_ids(&served, dims_list).unwrap();
+        assert_eq!(pooled, expected);
+    }
+}

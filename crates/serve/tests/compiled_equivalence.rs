@@ -1,0 +1,132 @@
+//! The differential contract of the compiled query plan: on any
+//! structure, [`CompiledQueryIndex`] must answer **bit-identically** to
+//! [`MultiPlacementStructure::query`] — here proven on ≥ 10,000 random
+//! probes against a circ02-sized generated structure, on a
+//! save/load-cycled structure, and property-based over random circuits.
+
+use mps_core::{GeneratorConfig, MpsGenerator, MultiPlacementStructure};
+use mps_geom::Coord;
+use mps_netlist::benchmarks::{self, random_circuit};
+use mps_netlist::Circuit;
+use mps_serve::{CompiledQueryIndex, QueryScratch};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn generate(circuit: &Circuit, outer: usize, inner: usize, seed: u64) -> MultiPlacementStructure {
+    let config = GeneratorConfig::builder()
+        .outer_iterations(outer)
+        .inner_iterations(inner)
+        .seed(seed)
+        .build();
+    MpsGenerator::new(circuit, config)
+        .generate()
+        .expect("test circuits are valid")
+}
+
+/// Random probes over (and slightly beyond) the circuit's dimension
+/// space: uniform in-bounds vectors salted with out-of-bounds values.
+fn probes(circuit: &Circuit, n: usize, seed: u64) -> Vec<Vec<(Coord, Coord)>> {
+    let bounds = circuit.dim_bounds();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|k| {
+            let mut dims: Vec<(Coord, Coord)> = bounds
+                .iter()
+                .map(|b| {
+                    (
+                        rng.random_range(b.w.lo()..=b.w.hi()),
+                        rng.random_range(b.h.lo()..=b.h.hi()),
+                    )
+                })
+                .collect();
+            if k % 9 == 4 {
+                let i = k % bounds.len();
+                dims[i].1 = bounds[i].h.hi() + 1 + rng.random_range(0..50);
+            }
+            dims
+        })
+        .collect()
+}
+
+fn assert_bit_identical(mps: &MultiPlacementStructure, stream: &[Vec<(Coord, Coord)>]) {
+    let index = CompiledQueryIndex::build(mps);
+    let mut scratch = QueryScratch::new();
+    let mut answered = 0usize;
+    for (k, dims) in stream.iter().enumerate() {
+        let reference = mps.query(dims);
+        let compiled = index.query_with_scratch(dims, &mut scratch);
+        assert_eq!(
+            reference, compiled,
+            "probe {k} ({dims:?}) diverges between the interpretive and compiled paths"
+        );
+        answered += usize::from(reference.is_some());
+    }
+    assert!(
+        answered > 0,
+        "probe stream never hit covered space — the battery proves nothing"
+    );
+    // The batch paths answer the same stream identically too.
+    assert_eq!(index.query_batch(stream), mps.query_batch(stream));
+}
+
+/// The acceptance-criteria battery: ≥ 10,000 random probes on a
+/// circ02-sized structure, bit-identical answers.
+#[test]
+fn ten_thousand_probes_on_circ02() {
+    let bm = benchmarks::by_name("circ02").unwrap();
+    let mps = generate(&bm.circuit, 60, 40, 20050307);
+    assert!(mps.placement_count() > 0);
+    assert_bit_identical(&mps, &probes(&bm.circuit, 10_000, 0xD1FF));
+}
+
+#[test]
+fn ten_thousand_probes_on_circ01() {
+    let bm = benchmarks::by_name("circ01").unwrap();
+    let mps = generate(&bm.circuit, 50, 40, 7);
+    assert_bit_identical(&mps, &probes(&bm.circuit, 10_000, 0xFEED));
+}
+
+/// The compiled plan must agree with the interpretive path on a
+/// structure that went through a save/load cycle (the serving scenario:
+/// artifacts come from disk, not from the generating process).
+#[cfg(feature = "serde")]
+#[test]
+fn compiled_index_agrees_after_persistence_roundtrip() {
+    let bm = benchmarks::by_name("circ01").unwrap();
+    let mps = generate(&bm.circuit, 40, 30, 99);
+    let reloaded = MultiPlacementStructure::from_json(&mps.to_json()).unwrap();
+    assert_bit_identical(&reloaded, &probes(&bm.circuit, 2_000, 0xBEEF));
+    // And the built-in load-time check passes on the reloaded structure.
+    CompiledQueryIndex::build(&reloaded)
+        .verify_against(&reloaded, 10_000, 0xA11CE)
+        .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Element-wise equivalence of the compiled index (single and batch
+    /// paths) to `query` over arbitrary generated structures — the same
+    /// contract `query_batch` proves for the interpretive path in
+    /// crates/core/tests/query_batch.rs.
+    #[test]
+    fn compiled_matches_query_on_random_circuits(
+        seed in 0u64..50_000,
+        blocks in 2usize..6,
+        nets in 2usize..7,
+    ) {
+        let circuit = random_circuit(blocks, nets, seed);
+        let mps = generate(&circuit, 30, 30, seed);
+        let index = CompiledQueryIndex::build(&mps);
+        let stream = probes(&circuit, 400, seed ^ 0xC0DE);
+        let mut scratch = QueryScratch::new();
+        for dims in &stream {
+            prop_assert_eq!(
+                mps.query(dims),
+                index.query_with_scratch(dims, &mut scratch)
+            );
+        }
+        prop_assert_eq!(index.query_batch(&stream), mps.query_batch(&stream));
+    }
+}

@@ -16,6 +16,9 @@
 //!   pairs, symmetry constraints.
 //! * [`mps`] — the paper's contribution: the multi-placement structure, its
 //!   nested-SA generator, and the layout-inclusive synthesis loop.
+//! * [`serve`] — the query-serving subsystem: compiled allocation-free
+//!   query plans, a hot-swappable registry of persisted structures, and
+//!   the line-protocol engine behind the `mps-serve` binary.
 //!
 //! # Quickstart
 //!
@@ -48,3 +51,4 @@ pub use mps_core as mps;
 pub use mps_geom as geom;
 pub use mps_netlist as netlist;
 pub use mps_placer as placer;
+pub use mps_serve as serve;

@@ -40,6 +40,11 @@ fn custom_circuit_runs() {
 }
 
 #[test]
+fn serve_queries_runs() {
+    run_example("serve_queries");
+}
+
+#[test]
 fn synthesis_loop_runs() {
     run_example("synthesis_loop");
 }
