@@ -8,7 +8,8 @@
 //! * Coverage-target sweep — placements stored and generation effort as a
 //!   function of the stopping criterion.
 
-use mps_bench::{effort_from_args, fmt_duration, markdown_table, parallel_from_args, random_dims};
+use mps_bench::cli::{effort_from_args, parallel_from_args};
+use mps_bench::{fmt_duration, markdown_table, random_dims};
 use mps_core::{GeneratorConfig, MpsGenerator};
 use mps_netlist::benchmarks;
 use mps_placer::CostCalculator;

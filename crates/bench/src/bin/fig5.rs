@@ -2,22 +2,16 @@
 //! two-stage opamp from one multi-placement structure (a, b) and the fixed
 //! template-based instantiation (c). SVGs are written to `out/`.
 
-use mps_bench::{
-    effort_from_args, floorplan_svg, obtain_structure, parallel_from_args, persist_from_args,
-    scaled_config, write_artifact,
-};
+use mps_bench::cli::{obtain_structure, BenchArgs};
+use mps_bench::{floorplan_svg, write_artifact};
 use mps_netlist::benchmarks;
 use mps_placer::Template;
 
 fn main() {
     let circuit = benchmarks::two_stage_opamp();
-    let config = parallel_from_args(scaled_config(&circuit, effort_from_args(), 55));
-    let (mps, _) = obtain_structure(
-        "fig5_two_stage_opamp",
-        &circuit,
-        config,
-        &persist_from_args(),
-    );
+    let args = BenchArgs::parse();
+    let config = args.config_for(&circuit, 55);
+    let (mps, _) = obtain_structure("fig5_two_stage_opamp", &circuit, config, &args.persist);
     eprintln!("structure holds {} placements", mps.placement_count());
 
     // Pick two stored placements with genuinely different arrangements and

@@ -3,22 +3,16 @@
 //! multi-placement structure selects (bottom plot) for the two-stage
 //! opamp. Prints both series and writes `out/fig6.csv`.
 
-use mps_bench::{
-    effort_from_args, fig6_sweep, obtain_structure, parallel_from_args, persist_from_args,
-    scaled_config, write_artifact,
-};
+use mps_bench::cli::{obtain_structure, BenchArgs};
+use mps_bench::{fig6_sweep, write_artifact};
 use mps_netlist::benchmarks;
 use std::fmt::Write as _;
 
 fn main() {
     let circuit = benchmarks::two_stage_opamp();
-    let config = parallel_from_args(scaled_config(&circuit, effort_from_args(), 66));
-    let (mps, _) = obtain_structure(
-        "fig6_two_stage_opamp",
-        &circuit,
-        config,
-        &persist_from_args(),
-    );
+    let args = BenchArgs::parse();
+    let config = args.config_for(&circuit, 66);
+    let (mps, _) = obtain_structure("fig6_two_stage_opamp", &circuit, config, &args.persist);
     let data = fig6_sweep(&circuit, &mps, 60);
 
     // CSV: sweep value, selected cost, then one column per placement.

@@ -1,16 +1,15 @@
 //! Regenerates Fig. 7: an optimized floorplan instantiation for the
 //! 21-module `tso-cascode` benchmark. SVG written to `out/`.
 
-use mps_bench::{
-    effort_from_args, floorplan_svg, obtain_structure, parallel_from_args, persist_from_args,
-    scaled_config, write_artifact,
-};
+use mps_bench::cli::{obtain_structure, BenchArgs};
+use mps_bench::{floorplan_svg, write_artifact};
 use mps_netlist::benchmarks;
 
 fn main() {
     let circuit = benchmarks::tso_cascode();
-    let config = parallel_from_args(scaled_config(&circuit, effort_from_args(), 77));
-    let (mps, _) = obtain_structure("fig7_tso_cascode", &circuit, config, &persist_from_args());
+    let args = BenchArgs::parse();
+    let config = args.config_for(&circuit, 77);
+    let (mps, _) = obtain_structure("fig7_tso_cascode", &circuit, config, &args.persist);
     eprintln!("structure holds {} placements", mps.placement_count());
 
     // Draw the best stored placement at its best dimensions.

@@ -9,7 +9,8 @@
 //!     --circuit tso-cascode --starts 8 --threads 4 --effort 0.5
 //! ```
 
-use mps_bench::{arg_value, effort_from_args, fmt_duration, markdown_table, scaled_config};
+use mps_bench::cli::{arg_value, effort_from_args};
+use mps_bench::{fmt_duration, markdown_table, scaled_config};
 use mps_core::{GeneratorConfig, MpsGenerator, MultiPlacementStructure};
 use mps_netlist::benchmarks;
 use std::time::{Duration, Instant};

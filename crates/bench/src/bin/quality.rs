@@ -8,10 +8,8 @@
 //! shape to verify: MPS time ≈ template time ≪ SA time, and MPS cost
 //! between SA cost and template cost (closer to SA).
 
-use mps_bench::{
-    effort_from_args, fmt_duration, markdown_table, obtain_structure, parallel_from_args,
-    persist_from_args, random_dims, scaled_config,
-};
+use mps_bench::cli::{obtain_structure, BenchArgs};
+use mps_bench::{fmt_duration, markdown_table, random_dims};
 use mps_netlist::benchmarks;
 use mps_placer::{CostCalculator, SaPlacer, SaPlacerConfig, Template};
 use rand::rngs::StdRng;
@@ -19,8 +17,8 @@ use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
 fn main() {
-    let effort = effort_from_args();
-    let persist = persist_from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
     let queries = 8;
     let mut rows = Vec::new();
     for bm in benchmarks::all() {
@@ -29,8 +27,8 @@ fn main() {
         let (mps, _) = obtain_structure(
             bm.name,
             circuit,
-            parallel_from_args(scaled_config(circuit, effort, 11)),
-            &persist,
+            args.config_for(circuit, 11),
+            &args.persist,
         );
         let template = Template::expert_default(circuit, 6);
         let sa = SaPlacer::new(

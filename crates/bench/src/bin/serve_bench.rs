@@ -22,13 +22,10 @@
 //! engine beats `baseline` by at least `S`× QPS on the uniform stream —
 //! CI passes 2 per the serving subsystem's acceptance bar.
 
-use mps_bench::{
-    arg_value, effort_from_args, fmt_duration, markdown_table, obtain_structure,
-    parallel_from_args, persist_from_args, random_dims, scaled_config, write_artifact,
-    StructureSource,
-};
+use mps_bench::cli::{arg_value, obtain_structure, BenchArgs, StructureSource};
+use mps_bench::{fmt_duration, markdown_table, random_dims, write_artifact};
 use mps_core::{MultiPlacementStructure, PlacementId};
-use mps_geom::Coord;
+use mps_geom::Dims;
 use mps_netlist::benchmarks;
 use mps_serve::{CompiledQueryIndex, QueryScratch};
 use rand::rngs::StdRng;
@@ -55,9 +52,9 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 /// Measures one engine over a stream: a warm-up + full-stream QPS pass
 /// (no per-query clocking), then an instrumented pass over a sample for
 /// p50/p99.
-fn measure<F>(name: &'static str, stream: &[Vec<(Coord, Coord)>], mut engine: F) -> EngineResult
+fn measure<F>(name: &'static str, stream: &[Dims], mut engine: F) -> EngineResult
 where
-    F: FnMut(&[(Coord, Coord)]) -> Option<PlacementId>,
+    F: FnMut(&Dims) -> Option<PlacementId>,
 {
     let mut sink = 0usize;
     for dims in stream.iter().take(stream.len() / 10) {
@@ -93,15 +90,15 @@ where
 /// fixed vectors (the synthesis-loop pattern: an optimizer hammering the
 /// same sizing neighborhood), the rest stay uniform.
 fn hotspot_stream(
-    uniform: &[Vec<(Coord, Coord)>],
+    uniform: &[Dims],
     mps: &MultiPlacementStructure,
     hot_fraction: f64,
     seed: u64,
-) -> Vec<Vec<(Coord, Coord)>> {
+) -> Vec<Dims> {
     let mut rng = StdRng::seed_from_u64(seed);
     // Prefer covered vectors as hot spots so the hot path exercises full
     // intersections, not early misses.
-    let mut hot: Vec<&Vec<(Coord, Coord)>> = uniform
+    let mut hot: Vec<&Dims> = uniform
         .iter()
         .filter(|d| mps.query(d).is_some())
         .take(16)
@@ -146,20 +143,20 @@ fn engine_value(r: &EngineResult) -> Value {
 }
 
 fn main() {
-    let effort = effort_from_args();
+    let args = BenchArgs::parse();
+    let effort = args.effort;
     let queries: usize = arg_value("queries").unwrap_or(100_000);
     let hot_fraction: f64 = arg_value("hot").unwrap_or(0.9);
     let min_speedup: f64 = arg_value("min-speedup").unwrap_or(0.0);
     let circuit_name: String = arg_value("circuit").unwrap_or_else(|| "circ02".to_owned());
-    let persist = persist_from_args();
 
     let Some(bm) = benchmarks::by_name(&circuit_name) else {
         eprintln!("error: unknown benchmark circuit `{circuit_name}`");
         std::process::exit(2);
     };
     eprintln!("generating {circuit_name} structure (effort {effort}) ...");
-    let config = parallel_from_args(scaled_config(&bm.circuit, effort, 20050307));
-    let (mps, source) = obtain_structure(bm.name, &bm.circuit, config, &persist);
+    let config = args.config_for(&bm.circuit, 20050307);
+    let (mps, source) = obtain_structure(bm.name, &bm.circuit, config, &args.persist);
     eprintln!(
         "  {} placements, {:.1}% coverage{}",
         mps.placement_count(),
@@ -185,7 +182,7 @@ fn main() {
         .expect("compiled index must answer bit-identically to query");
 
     let mut rng = StdRng::seed_from_u64(0x5EED ^ 20050307);
-    let uniform: Vec<Vec<(Coord, Coord)>> = (0..queries.max(1))
+    let uniform: Vec<Dims> = (0..queries.max(1))
         .map(|_| random_dims(&bm.circuit, &mut rng))
         .collect();
     let hotspot = hotspot_stream(&uniform, &mps, hot_fraction, 0x1407);

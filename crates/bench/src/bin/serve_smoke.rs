@@ -11,9 +11,10 @@
 //!     [--server target/release/mps-serve] [--queries N]
 //! ```
 
-use mps_bench::{arg_value, random_dims};
+use mps_bench::cli::arg_value;
+use mps_bench::random_dims;
 use mps_core::MultiPlacementStructure;
-use mps_geom::Coord;
+use mps_geom::Dims;
 use mps_netlist::benchmarks;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -74,10 +75,10 @@ fn main() {
 
     // The query streams, one per structure, from the circuit's bounds
     // when the benchmark is known (else from the structure's own bounds).
-    let mut streams: Vec<Vec<Vec<(Coord, Coord)>>> = Vec::new();
+    let mut streams: Vec<Vec<Dims>> = Vec::new();
     for (name, mps) in &structures {
         let mut rng = StdRng::seed_from_u64(0x500C ^ name.len() as u64);
-        let stream: Vec<Vec<(Coord, Coord)>> = match benchmarks::by_name(name) {
+        let stream: Vec<Dims> = match benchmarks::by_name(name) {
             Some(bm) => (0..queries)
                 .map(|_| random_dims(&bm.circuit, &mut rng))
                 .collect(),

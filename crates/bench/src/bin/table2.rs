@@ -8,21 +8,21 @@
 //! micro/milliseconds regardless of circuit size, and (c) placement counts
 //! land in the same tens-to-hundreds band.
 
-use mps_bench::{
-    effort_from_args, fmt_duration, markdown_table, measure_instantiation, obtain_structure,
-    parallel_from_args, persist_from_args, scaled_config, StructureSource,
-};
+use mps_bench::cli::{obtain_structure, BenchArgs, StructureSource};
+use mps_bench::{fmt_duration, markdown_table, measure_instantiation};
 use mps_netlist::benchmarks;
 
 fn main() {
-    let effort = effort_from_args();
-    let persist = persist_from_args();
+    let args = BenchArgs::parse();
     let queries = 1_000;
-    eprintln!("generating multi-placement structures (effort {effort}) ...");
+    eprintln!(
+        "generating multi-placement structures (effort {}) ...",
+        args.effort
+    );
     let mut rows = Vec::new();
     for bm in benchmarks::all() {
-        let config = parallel_from_args(scaled_config(&bm.circuit, effort, 2005));
-        let (mps, source) = obtain_structure(bm.name, &bm.circuit, config, &persist);
+        let config = args.config_for(&bm.circuit, 2005);
+        let (mps, source) = obtain_structure(bm.name, &bm.circuit, config, &args.persist);
         let mean_instantiation = measure_instantiation(&bm.circuit, &mps, queries, 2005 ^ 0xABCD);
         let generation = match &source {
             StructureSource::Generated(report) => {

@@ -18,9 +18,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
+pub use cli::{
+    arg_value, effort_from_args, obtain_structure, parallel_from_args, persist_from_args,
+    structure_path, BenchArgs, PersistArgs, StructureSource,
+};
+
 use mps_core::{GeneratorConfig, MpsGenerator, MultiPlacementStructure};
 use mps_geom::svg::{palette, LabelledRect};
-use mps_geom::Coord;
+use mps_geom::{Coord, Dims};
 use mps_netlist::benchmarks::Benchmark;
 use mps_netlist::Circuit;
 use mps_placer::{CostCalculator, Placement};
@@ -63,7 +70,7 @@ pub fn scaled_config(circuit: &Circuit, effort: f64, seed: u64) -> GeneratorConf
 
 /// Draws a uniformly random in-bounds dimension vector.
 #[must_use]
-pub fn random_dims(circuit: &Circuit, rng: &mut StdRng) -> Vec<(Coord, Coord)> {
+pub fn random_dims(circuit: &Circuit, rng: &mut StdRng) -> Dims {
     circuit
         .dim_bounds()
         .iter()
@@ -120,7 +127,7 @@ pub fn measure_instantiation(
     seed: u64,
 ) -> Duration {
     let mut rng = StdRng::seed_from_u64(seed);
-    let dims: Vec<Vec<(Coord, Coord)>> = (0..queries.max(1))
+    let dims: Vec<Dims> = (0..queries.max(1))
         .map(|_| random_dims(circuit, &mut rng))
         .collect();
     let start = Instant::now();
@@ -182,13 +189,19 @@ pub fn fig6_sweep(circuit: &Circuit, mps: &MultiPlacementStructure, points: usiz
     let calc = CostCalculator::new(circuit);
     let fp = mps.floorplan();
 
+    // The swept vector at one sample point: base dims with block 0's
+    // width replaced (mid-range values, always a valid vector).
+    let at = |w: Coord| {
+        let mut dims = base.clone();
+        dims[0].0 = w;
+        Dims::from_vec_unchecked(dims)
+    };
     let mut per_placement = Vec::new();
     for (id, entry) in mps.iter() {
         let series: Vec<Option<f64>> = sweep
             .iter()
             .map(|&w| {
-                let mut dims = base.clone();
-                dims[0].0 = w;
+                let dims = at(w);
                 entry
                     .placement
                     .is_legal(&dims, Some(&fp))
@@ -200,8 +213,7 @@ pub fn fig6_sweep(circuit: &Circuit, mps: &MultiPlacementStructure, points: usiz
     let selected: Vec<Option<f64>> = sweep
         .iter()
         .map(|&w| {
-            let mut dims = base.clone();
-            dims[0].0 = w;
+            let dims = at(w);
             mps.instantiate(&dims).map(|p| calc.cost(&p, &dims))
         })
         .collect();
@@ -243,175 +255,6 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push_str(&format!("| {} |\n", row.join(" | ")));
     }
     out
-}
-
-/// The value following `--<name>` on the CLI (`--name value` or
-/// `--name=value`), parsed, if the flag is present. Shared by every
-/// binary's lightweight flag handling.
-///
-/// # Panics
-///
-/// Exits with an error if the flag is present but its value is missing
-/// or unparsable — a measurement run must never silently fall back to a
-/// default the user believes they overrode.
-#[must_use]
-pub fn arg_value<T: std::str::FromStr>(name: &str) -> Option<T> {
-    let flag = format!("--{name}");
-    let prefix = format!("--{name}=");
-    let args: Vec<String> = std::env::args().collect();
-    let raw = args.iter().enumerate().find_map(|(i, a)| {
-        if *a == flag {
-            Some(args.get(i + 1).cloned())
-        } else {
-            a.strip_prefix(&prefix).map(|v| Some(v.to_owned()))
-        }
-    })?;
-    let Some(raw) = raw else {
-        eprintln!("error: {flag} requires a value");
-        std::process::exit(2);
-    };
-    match raw.parse() {
-        Ok(v) => Some(v),
-        Err(_) => {
-            eprintln!("error: invalid value {raw:?} for {flag}");
-            std::process::exit(2);
-        }
-    }
-}
-
-/// Parses the optional CLI effort argument (`--effort 0.5`, default 1.0).
-#[must_use]
-pub fn effort_from_args() -> f64 {
-    arg_value("effort").unwrap_or(1.0)
-}
-
-/// Applies the optional CLI parallel-generation knobs to a config:
-/// `--starts K` (default: keep the config's start count) and
-/// `--threads T` (`0` = one per core; default: keep the config's count).
-/// Every binary that generates a structure accepts them, so any paper
-/// artefact can be regenerated with multi-start diversity and all cores.
-#[must_use]
-pub fn parallel_from_args(mut config: GeneratorConfig) -> GeneratorConfig {
-    if let Some(starts) = arg_value::<usize>("starts") {
-        config.num_starts = starts.max(1);
-    }
-    if let Some(threads) = arg_value::<usize>("threads") {
-        config.threads = threads;
-    }
-    config
-}
-
-/// The `--save DIR` / `--load DIR` persistence knobs shared by every
-/// structure-generating binary: `--load` skips regeneration and reads the
-/// structure from `DIR/<circuit>.mps.json`; `--save` writes each generated
-/// structure there for later `--load` runs (the paper's generate-once /
-/// use-everywhere workflow across processes).
-#[derive(Debug, Clone, Default)]
-pub struct PersistArgs {
-    /// Directory to load pre-generated structures from.
-    pub load: Option<std::path::PathBuf>,
-    /// Directory to save generated structures into.
-    pub save: Option<std::path::PathBuf>,
-}
-
-/// Parses the optional `--load DIR` and `--save DIR` CLI flags.
-#[must_use]
-pub fn persist_from_args() -> PersistArgs {
-    PersistArgs {
-        load: arg_value::<std::path::PathBuf>("load"),
-        save: arg_value::<std::path::PathBuf>("save"),
-    }
-}
-
-/// Where [`obtain_structure`] stores / finds the structure for a circuit.
-#[must_use]
-pub fn structure_path(dir: &std::path::Path, name: &str) -> std::path::PathBuf {
-    dir.join(format!("{name}.mps.json"))
-}
-
-/// How [`obtain_structure`] came by its structure.
-#[derive(Debug)]
-pub enum StructureSource {
-    /// Freshly generated; the report carries timing and explorer counters.
-    Generated(mps_core::GenerationReport),
-    /// Loaded (and invariant-revalidated) from this file; no generation
-    /// happened.
-    Loaded(std::path::PathBuf),
-}
-
-/// Generates the structure for `name`/`circuit` under `config`, honoring
-/// the [`PersistArgs`] knobs: with `--load` the structure is read from
-/// disk instead (validated against the `mps-v1` envelope, the Eq.-5
-/// invariants, *and* the circuit's dimension bounds); with `--save` the
-/// generated structure is written out for future `--load` runs.
-///
-/// # Panics
-///
-/// Exits with an error message when a `--load` file is missing, malformed
-/// or belongs to a different circuit, and panics on invalid benchmark
-/// circuits or unwritable `--save` directories — measurement runs have no
-/// useful recovery.
-#[cfg(feature = "serde")]
-#[must_use]
-pub fn obtain_structure(
-    name: &str,
-    circuit: &Circuit,
-    config: GeneratorConfig,
-    args: &PersistArgs,
-) -> (MultiPlacementStructure, StructureSource) {
-    if let Some(dir) = &args.load {
-        let path = structure_path(dir, name);
-        let mps = match MultiPlacementStructure::load_json(&path) {
-            Ok(mps) => mps,
-            Err(e) => {
-                eprintln!("error: cannot load structure {}: {e}", path.display());
-                std::process::exit(2);
-            }
-        };
-        if mps.bounds() != circuit.dim_bounds() {
-            eprintln!(
-                "error: structure {} was generated for a different circuit \
-                 than `{name}` (dimension bounds differ)",
-                path.display()
-            );
-            std::process::exit(2);
-        }
-        return (mps, StructureSource::Loaded(path));
-    }
-    let (mps, report) = MpsGenerator::new(circuit, config)
-        .generate_with_report()
-        .expect("benchmark circuits are valid");
-    if let Some(dir) = &args.save {
-        std::fs::create_dir_all(dir).expect("create --save directory");
-        let path = structure_path(dir, name);
-        mps.save_json(&path).expect("write structure file");
-        eprintln!("  saved {}", path.display());
-    }
-    (mps, StructureSource::Generated(report))
-}
-
-/// Without the `serde` feature there is no persistence layer; the flags
-/// are rejected instead of silently ignored.
-#[cfg(not(feature = "serde"))]
-#[must_use]
-pub fn obtain_structure(
-    name: &str,
-    circuit: &Circuit,
-    config: GeneratorConfig,
-    args: &PersistArgs,
-) -> (MultiPlacementStructure, StructureSource) {
-    if args.load.is_some() || args.save.is_some() {
-        eprintln!(
-            "error: --load/--save require mps-bench to be built with the \
-             `serde` feature (on by default)"
-        );
-        std::process::exit(2);
-    }
-    let _ = name;
-    let (mps, report) = MpsGenerator::new(circuit, config)
-        .generate_with_report()
-        .expect("benchmark circuits are valid");
-    (mps, StructureSource::Generated(report))
 }
 
 /// Ensures `out/` exists and writes a file into it, returning the path.

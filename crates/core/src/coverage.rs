@@ -93,7 +93,7 @@ mod tests {
             )]),
             avg_cost: 1.0,
             best_cost: 1.0,
-            best_dims: vec![(w.0, h.0)],
+            best_dims: mps_geom::dims![(w.0, h.0)],
         }
     }
 
@@ -149,7 +149,7 @@ mod tests {
             ]),
             avg_cost: 1.0,
             best_cost: 1.0,
-            best_dims: vec![(10, 10), (10, 10)],
+            best_dims: mps_geom::dims![(10, 10), (10, 10)],
         });
         assert!((volume_coverage(&mps) - 1.0 / 16.0).abs() < 1e-9);
     }

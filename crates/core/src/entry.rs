@@ -1,6 +1,6 @@
 //! Stored placements: the elements of the set Π.
 
-use mps_geom::{Coord, DimsBox};
+use mps_geom::{Coord, Dims, DimsBox};
 use mps_placer::Placement;
 use std::fmt;
 
@@ -50,7 +50,7 @@ pub struct StoredPlacement {
     /// Best cost the BDIO attained.
     pub best_cost: f64,
     /// The dimension vector achieving [`StoredPlacement::best_cost`].
-    pub best_dims: Vec<(Coord, Coord)>,
+    pub best_dims: Dims,
 }
 
 impl StoredPlacement {
@@ -142,7 +142,7 @@ mod tests {
             )]),
             avg_cost: 12.0,
             best_cost: 9.5,
-            best_dims: vec![(15, 10)],
+            best_dims: mps_geom::dims![(15, 10)],
         }
     }
 

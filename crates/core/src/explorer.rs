@@ -13,7 +13,7 @@
 use crate::resolve::{resolve_overlaps, ResolveStats};
 use crate::{Bdio, MultiPlacementStructure, StoredPlacement};
 use mps_anneal::{metropolis, AdaptiveSchedule, Schedule};
-use mps_geom::{Coord, Point, Rect};
+use mps_geom::{Coord, Dims, Point, Rect};
 use mps_netlist::Circuit;
 use mps_placer::{expand_placement, ExpansionConfig, Placement, SequencePair};
 use rand::rngs::StdRng;
@@ -196,12 +196,14 @@ pub(crate) fn explore(
         );
         stats.absorb(&rstats);
         for dims_box in survivors {
-            let best_dims: Vec<(Coord, Coord)> = dims_box
-                .ranges()
-                .iter()
-                .zip(&result.best_dims)
-                .map(|(r, &(w, h))| (r.w.clamp_value(w), r.h.clamp_value(h)))
-                .collect();
+            let best_dims = Dims::from_vec_unchecked(
+                dims_box
+                    .ranges()
+                    .iter()
+                    .zip(&result.best_dims)
+                    .map(|(r, &(w, h))| (r.w.clamp_value(w), r.h.clamp_value(h)))
+                    .collect(),
+            );
             mps.insert_unchecked(StoredPlacement {
                 placement: candidate.clone(),
                 dims_box,
@@ -431,7 +433,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let bounds = circuit.dim_bounds();
         for _ in 0..200 {
-            let dims: Vec<(Coord, Coord)> = bounds
+            let dims: Dims = bounds
                 .iter()
                 .map(|b| {
                     (

@@ -53,6 +53,7 @@ mod coverage;
 mod entry;
 mod explorer;
 mod generator;
+mod invariant;
 pub mod parallel;
 #[cfg(feature = "serde")]
 mod persist;
@@ -67,6 +68,7 @@ pub use explorer::{ExplorerConfig, ExplorerStats};
 pub use generator::{
     GenerateError, GenerationReport, GeneratorConfig, GeneratorConfigBuilder, MpsGenerator,
 };
+pub use invariant::InvariantError;
 #[cfg(feature = "serde")]
 pub use persist::{PersistError, FORMAT as PERSIST_FORMAT};
 pub use structure::MultiPlacementStructure;

@@ -43,7 +43,7 @@
 use crate::explorer::{explore, ExplorerStats};
 use crate::resolve::resolve_overlaps;
 use crate::{Bdio, GeneratorConfig, MultiPlacementStructure, StoredPlacement};
-use mps_geom::{Coord, Rect};
+use mps_geom::{Dims, Rect};
 use mps_netlist::Circuit;
 use mps_placer::{CostCalculator, SymmetryConstraints};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -199,12 +199,14 @@ fn merge(
             for dims_box in survivors {
                 // Same idiom as the explorer's store step: the recorded
                 // best dims may fall outside a shrunk surviving piece.
-                let best_dims: Vec<(Coord, Coord)> = dims_box
-                    .ranges()
-                    .iter()
-                    .zip(&entry.best_dims)
-                    .map(|(r, &(w, h))| (r.w.clamp_value(w), r.h.clamp_value(h)))
-                    .collect();
+                let best_dims = Dims::from_vec_unchecked(
+                    dims_box
+                        .ranges()
+                        .iter()
+                        .zip(&entry.best_dims)
+                        .map(|(r, &(w, h))| (r.w.clamp_value(w), r.h.clamp_value(h)))
+                        .collect(),
+                );
                 merged.insert_unchecked(StoredPlacement {
                     placement: entry.placement.clone(),
                     dims_box,

@@ -18,7 +18,7 @@
 //! [`PersistError`] — never a panic and never a silently corrupt
 //! structure.
 
-use crate::MultiPlacementStructure;
+use crate::{InvariantError, MultiPlacementStructure};
 use std::fmt;
 use std::path::Path;
 
@@ -45,7 +45,7 @@ pub enum PersistError {
     },
     /// The structure decoded but violates the Eq.-5 invariants (overlap,
     /// row inconsistency, illegal placement, out-of-bounds box).
-    Invariant(String),
+    Invariant(InvariantError),
     /// Reading or writing the file failed.
     Io(std::io::Error),
 }
@@ -71,6 +71,7 @@ impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PersistError::Decode(e) => Some(e),
+            PersistError::Invariant(e) => Some(e),
             PersistError::Io(e) => Some(e),
             _ => None,
         }
@@ -86,6 +87,12 @@ impl From<serde_json::Error> for PersistError {
 impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
         PersistError::Io(e)
+    }
+}
+
+impl From<InvariantError> for PersistError {
+    fn from(e: InvariantError) -> Self {
+        PersistError::Invariant(e)
     }
 }
 
@@ -179,7 +186,7 @@ impl MultiPlacementStructure {
 mod tests {
     use super::*;
     use crate::StoredPlacement;
-    use mps_geom::{BlockRanges, DimsBox, Interval, Point, Rect};
+    use mps_geom::{dims, BlockRanges, DimsBox, Interval, Point, Rect};
     use mps_netlist::{Block, Circuit};
     use mps_placer::Placement;
 
@@ -199,7 +206,7 @@ mod tests {
             ]),
             avg_cost: 10.0,
             best_cost: 8.0,
-            best_dims: vec![(10, 10), (10, 10)],
+            best_dims: mps_geom::dims![(10, 10), (10, 10)],
         });
         mps
     }
@@ -213,8 +220,8 @@ mod tests {
         assert_eq!(back.placement_count(), 1);
         assert_eq!(back.floorplan(), mps.floorplan());
         assert_eq!(
-            back.query(&[(20, 20), (20, 20)]),
-            mps.query(&[(20, 20), (20, 20)])
+            back.query(&dims![(20, 20), (20, 20)]),
+            mps.query(&dims![(20, 20), (20, 20)])
         );
     }
 
@@ -283,7 +290,7 @@ mod tests {
             ]),
             avg_cost: 20.0,
             best_cost: 15.0,
-            best_dims: vec![(40, 10), (10, 10)],
+            best_dims: mps_geom::dims![(40, 10), (10, 10)],
         });
         assert!(matches!(
             MultiPlacementStructure::from_json(&mps.to_json()),

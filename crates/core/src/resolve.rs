@@ -12,7 +12,7 @@
 //! the un-changed placement."
 
 use crate::{MultiPlacementStructure, PlacementId, StoredPlacement};
-use mps_geom::DimsBox;
+use mps_geom::{Dims, DimsBox};
 
 /// Outcome counters of one resolution pass (for generation reporting and
 /// the ablation study).
@@ -129,13 +129,14 @@ fn apply_to_stored(
                 };
                 // The fork keeps the same coordinates and costs; its best
                 // dims may fall outside the half it owns — clamp them in.
-                fork.best_dims = fork
-                    .dims_box
-                    .ranges()
-                    .iter()
-                    .zip(&fork.best_dims)
-                    .map(|(r, &(w, h))| (r.w.clamp_value(w), r.h.clamp_value(h)))
-                    .collect();
+                fork.best_dims = Dims::from_vec_unchecked(
+                    fork.dims_box
+                        .ranges()
+                        .iter()
+                        .zip(&fork.best_dims)
+                        .map(|(r, &(w, h))| (r.w.clamp_value(w), r.h.clamp_value(h)))
+                        .collect(),
+                );
                 mps.insert_unchecked(fork);
             } else {
                 stats.stored_shrunk += 1;
@@ -192,7 +193,7 @@ mod tests {
             dims_box: dbox(w, h),
             avg_cost: avg,
             best_cost: avg,
-            best_dims: vec![(w.0, h.0)],
+            best_dims: mps_geom::dims![(w.0, h.0)],
         }
     }
 
@@ -342,7 +343,7 @@ mod tests {
                 dims_box: b,
                 avg_cost: 10.0,
                 best_cost: 10.0,
-                best_dims: vec![best],
+                best_dims: mps_geom::dims![best],
             });
         }
         m.check_invariants().unwrap();

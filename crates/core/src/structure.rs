@@ -1,7 +1,7 @@
 //! The multi-placement structure itself (§2).
 
-use crate::{PlacementId, StoredPlacement};
-use mps_geom::{BlockRanges, Coord, DimsBox, IntervalMap, Rect};
+use crate::{InvariantError, PlacementId, StoredPlacement};
+use mps_geom::{BlockRanges, Coord, Dims, DimsBox, IntervalMap, Rect};
 use mps_netlist::Circuit;
 use mps_placer::{Placement, SequencePair, Template};
 
@@ -133,9 +133,9 @@ impl MultiPlacementStructure {
     /// one candidate-buffer allocation per call; query loops should hold a
     /// scratch buffer (or use [`Self::query_batch`]) instead.
     #[must_use]
-    pub fn query(&self, dims: &[(Coord, Coord)]) -> Option<PlacementId> {
+    pub fn query(&self, dims: &Dims) -> Option<PlacementId> {
         let mut scratch = Vec::new();
-        self.query_with_scratch(dims, &mut scratch)
+        self.query_slice(dims, &mut scratch)
     }
 
     /// [`Self::query`] without the per-call allocation: the candidate set
@@ -147,11 +147,14 @@ impl MultiPlacementStructure {
     /// `scratch` holds the surviving candidate (if any) on return; its
     /// contents are otherwise unspecified.
     #[must_use]
-    pub fn query_with_scratch(
-        &self,
-        dims: &[(Coord, Coord)],
-        scratch: &mut Vec<u32>,
-    ) -> Option<PlacementId> {
+    pub fn query_with_scratch(&self, dims: &Dims, scratch: &mut Vec<u32>) -> Option<PlacementId> {
+        self.query_slice(dims, scratch)
+    }
+
+    /// The raw-slice query walk both the typed path and the deprecated
+    /// `*_pairs` shims delegate to — one implementation, so the two are
+    /// bit-identical by construction.
+    fn query_slice(&self, dims: &[(Coord, Coord)], scratch: &mut Vec<u32>) -> Option<PlacementId> {
         scratch.clear();
         if dims.len() != self.bounds.len() {
             return None;
@@ -186,11 +189,11 @@ impl MultiPlacementStructure {
     /// `self.query(&queries[k])`, with a single candidate-buffer
     /// allocation for the entire batch.
     #[must_use]
-    pub fn query_batch(&self, queries: &[Vec<(Coord, Coord)>]) -> Vec<Option<PlacementId>> {
+    pub fn query_batch(&self, queries: &[Dims]) -> Vec<Option<PlacementId>> {
         let mut scratch = Vec::new();
         queries
             .iter()
-            .map(|dims| self.query_with_scratch(dims, &mut scratch))
+            .map(|dims| self.query_slice(dims, &mut scratch))
             .collect()
     }
 
@@ -200,7 +203,7 @@ impl MultiPlacementStructure {
     /// `Instantiation` column: a handful of binary searches plus a clone of
     /// the coordinate vector.
     #[must_use]
-    pub fn instantiate(&self, dims: &[(Coord, Coord)]) -> Option<Placement> {
+    pub fn instantiate(&self, dims: &Dims) -> Option<Placement> {
         self.query(dims)
             .and_then(|id| self.entry(id))
             .map(|e| e.placement.clone())
@@ -221,13 +224,20 @@ impl MultiPlacementStructure {
     ///
     /// # Panics
     ///
-    /// Panics if `dims.len()` differs from the block count.
+    /// Panics if the vector's arity differs from the block count.
     #[must_use]
-    pub fn instantiate_or_fallback(&self, dims: &[(Coord, Coord)]) -> Placement {
+    pub fn instantiate_or_fallback(&self, dims: &Dims) -> Placement {
         assert_eq!(dims.len(), self.bounds.len(), "dimension arity mismatch");
         if let Some(p) = self.instantiate(dims) {
             return p;
         }
+        self.fallback_slice(dims)
+    }
+
+    /// The uncovered-space dispatch shared by every `*_or_fallback`
+    /// entry point (typed and deprecated alike): the installed template,
+    /// or the canonical single-row packing when none is installed.
+    fn fallback_slice(&self, dims: &[(Coord, Coord)]) -> Placement {
         match &self.fallback {
             Some(t) => t.instantiate(dims),
             None => SequencePair::row(self.bounds.len()).pack(dims),
@@ -245,7 +255,7 @@ impl MultiPlacementStructure {
     /// the ≤25-module circuits the method targets. Returns `None` in
     /// uncovered space.
     #[must_use]
-    pub fn instantiate_compacted(&self, dims: &[(Coord, Coord)]) -> Option<Placement> {
+    pub fn instantiate_compacted(&self, dims: &Dims) -> Option<Placement> {
         self.query(dims)
             .and_then(|id| self.entry(id))
             .map(|e| SequencePair::from_placement(&e.placement, &e.best_dims).pack(dims))
@@ -256,17 +266,124 @@ impl MultiPlacementStructure {
     ///
     /// # Panics
     ///
-    /// Panics if `dims.len()` differs from the block count.
+    /// Panics if the vector's arity differs from the block count.
     #[must_use]
-    pub fn instantiate_compacted_or_fallback(&self, dims: &[(Coord, Coord)]) -> Placement {
+    pub fn instantiate_compacted_or_fallback(&self, dims: &Dims) -> Placement {
         assert_eq!(dims.len(), self.bounds.len(), "dimension arity mismatch");
         if let Some(p) = self.instantiate_compacted(dims) {
             return p;
         }
-        match &self.fallback {
-            Some(t) => t.instantiate(dims),
-            None => SequencePair::row(self.bounds.len()).pack(dims),
+        self.fallback_slice(dims)
+    }
+
+    // -----------------------------------------------------------------
+    // Deprecated raw-slice entry points. One release of migration room:
+    // each is a thin delegate of its typed replacement, so answers are
+    // bit-identical. Removal requires a CHANGES.md note (enforced by the
+    // public-API snapshot test in `tests/public_api_snapshot.rs`).
+    // -----------------------------------------------------------------
+
+    /// [`Self::query`] over a raw pair slice.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a typed `mps_geom::Dims` and call `query`"
+    )]
+    #[must_use]
+    pub fn query_pairs(&self, dims: &[(Coord, Coord)]) -> Option<PlacementId> {
+        let mut scratch = Vec::new();
+        self.query_slice(dims, &mut scratch)
+    }
+
+    /// [`Self::query_with_scratch`] over a raw pair slice.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a typed `mps_geom::Dims` and call `query_with_scratch`"
+    )]
+    #[must_use]
+    pub fn query_with_scratch_pairs(
+        &self,
+        dims: &[(Coord, Coord)],
+        scratch: &mut Vec<u32>,
+    ) -> Option<PlacementId> {
+        self.query_slice(dims, scratch)
+    }
+
+    /// [`Self::query_batch`] over raw pair vectors.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct typed `mps_geom::Dims` vectors and call `query_batch`"
+    )]
+    #[must_use]
+    pub fn query_batch_pairs(&self, queries: &[Vec<(Coord, Coord)>]) -> Vec<Option<PlacementId>> {
+        let mut scratch = Vec::new();
+        queries
+            .iter()
+            .map(|dims| self.query_slice(dims, &mut scratch))
+            .collect()
+    }
+
+    /// [`Self::instantiate`] over a raw pair slice.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a typed `mps_geom::Dims` and call `instantiate`"
+    )]
+    #[must_use]
+    pub fn instantiate_pairs(&self, dims: &[(Coord, Coord)]) -> Option<Placement> {
+        let mut scratch = Vec::new();
+        self.query_slice(dims, &mut scratch)
+            .and_then(|id| self.entry(id))
+            .map(|e| e.placement.clone())
+    }
+
+    /// [`Self::instantiate_or_fallback`] over a raw pair slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len()` differs from the block count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a typed `mps_geom::Dims` and call `instantiate_or_fallback`"
+    )]
+    #[must_use]
+    pub fn instantiate_or_fallback_pairs(&self, dims: &[(Coord, Coord)]) -> Placement {
+        assert_eq!(dims.len(), self.bounds.len(), "dimension arity mismatch");
+        #[allow(deprecated)]
+        if let Some(p) = self.instantiate_pairs(dims) {
+            return p;
         }
+        self.fallback_slice(dims)
+    }
+
+    /// [`Self::instantiate_compacted`] over a raw pair slice.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a typed `mps_geom::Dims` and call `instantiate_compacted`"
+    )]
+    #[must_use]
+    pub fn instantiate_compacted_pairs(&self, dims: &[(Coord, Coord)]) -> Option<Placement> {
+        let mut scratch = Vec::new();
+        self.query_slice(dims, &mut scratch)
+            .and_then(|id| self.entry(id))
+            .map(|e| SequencePair::from_placement(&e.placement, &e.best_dims).pack(dims))
+    }
+
+    /// [`Self::instantiate_compacted_or_fallback`] over a raw pair slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len()` differs from the block count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a typed `mps_geom::Dims` and call `instantiate_compacted_or_fallback`"
+    )]
+    #[must_use]
+    pub fn instantiate_compacted_or_fallback_pairs(&self, dims: &[(Coord, Coord)]) -> Placement {
+        assert_eq!(dims.len(), self.bounds.len(), "dimension arity mismatch");
+        #[allow(deprecated)]
+        if let Some(p) = self.instantiate_compacted_pairs(dims) {
+            return p;
+        }
+        self.fallback_slice(dims)
     }
 
     /// Fraction of the dimension-space volume covered by stored validity
@@ -341,12 +458,14 @@ impl MultiPlacementStructure {
         );
         let old_box = std::mem::replace(&mut entry.dims_box, new_box.clone());
         // Keep the recorded best dimensions inside the surviving region.
-        entry.best_dims = new_box
-            .ranges()
-            .iter()
-            .zip(&entry.best_dims)
-            .map(|(r, &(w, h))| (r.w.clamp_value(w), r.h.clamp_value(h)))
-            .collect();
+        entry.best_dims = Dims::from_vec_unchecked(
+            new_box
+                .ranges()
+                .iter()
+                .zip(&entry.best_dims)
+                .map(|(r, &(w, h))| (r.w.clamp_value(w), r.h.clamp_value(h)))
+                .collect(),
+        );
         // Update only the axes that changed.
         for (i, (old, new)) in old_box.ranges().iter().zip(new_box.ranges()).enumerate() {
             if old.w != new.w {
@@ -434,30 +553,42 @@ impl MultiPlacementStructure {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// Returns a typed [`InvariantError`] naming the first violated
+    /// invariant (its `Display` form is the old prose description).
+    pub fn check_invariants(&self) -> Result<(), InvariantError> {
+        use mps_geom::Axis;
         for (i, (wr, hr)) in self.w_rows.iter().zip(&self.h_rows).enumerate() {
-            wr.check_invariants()
-                .map_err(|e| format!("w_row {i}: {e}"))?;
-            hr.check_invariants()
-                .map_err(|e| format!("h_row {i}: {e}"))?;
+            for (row, axis) in [(wr, Axis::Width), (hr, Axis::Height)] {
+                row.check_invariants().map_err(|e| InvariantError::Row {
+                    block: i,
+                    axis,
+                    detail: e,
+                })?;
+            }
         }
         let live: Vec<(PlacementId, &StoredPlacement)> = self.iter().collect();
         for &(id, entry) in &live {
             for (i, r) in entry.dims_box.ranges().iter().enumerate() {
-                for (row, iv, label) in [(&self.w_rows[i], r.w, "w"), (&self.h_rows[i], r.h, "h")] {
+                for (row, iv, axis) in [
+                    (&self.w_rows[i], r.w, Axis::Width),
+                    (&self.h_rows[i], r.h, Axis::Height),
+                ] {
                     let ranges = row.ranges_of(id.0);
                     if ranges != vec![iv] {
-                        return Err(format!(
-                            "{id:?} {label}-row {i}: registered {ranges:?}, box says {iv:?}"
-                        ));
+                        return Err(InvariantError::Registration {
+                            id,
+                            block: i,
+                            axis,
+                            registered: ranges,
+                            expected: iv,
+                        });
                     }
                 }
             }
             entry
                 .dims_box
                 .check_within_bounds(&self.bounds)
-                .map_err(|e| format!("{id:?}: {e}"))?;
+                .map_err(|e| InvariantError::OutOfBounds { id, detail: e })?;
             let top: Vec<(Coord, Coord)> = entry
                 .dims_box
                 .ranges()
@@ -465,13 +596,13 @@ impl MultiPlacementStructure {
                 .map(|r| (r.w.hi(), r.h.hi()))
                 .collect();
             if !entry.placement.is_legal(&top, Some(&self.floorplan)) {
-                return Err(format!("{id:?}: illegal at box upper corner"));
+                return Err(InvariantError::IllegalPlacement { id });
             }
         }
         for (a_idx, &(a_id, a)) in live.iter().enumerate() {
             for &(b_id, b) in &live[a_idx + 1..] {
                 if a.dims_box.overlaps(&b.dims_box) {
-                    return Err(format!("{a_id:?} and {b_id:?} validity boxes overlap"));
+                    return Err(InvariantError::BoxOverlap { a: a_id, b: b_id });
                 }
             }
         }
@@ -580,7 +711,7 @@ mod serde_impls {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mps_geom::{Interval, Point};
+    use mps_geom::{dims, Interval, Point};
     use mps_netlist::{benchmarks, Block, Circuit};
 
     fn small_circuit() -> Circuit {
@@ -638,38 +769,38 @@ mod tests {
         let c = small_circuit();
         let mps = MultiPlacementStructure::new(&c, Rect::from_xywh(0, 0, 100, 100));
         assert_eq!(mps.placement_count(), 0);
-        assert!(mps.query(&[(10, 10), (10, 10)]).is_none());
-        assert!(mps.instantiate(&[(10, 10), (10, 10)]).is_none());
+        assert!(mps.query(&dims![(10, 10), (10, 10)]).is_none());
+        assert!(mps.instantiate(&dims![(10, 10), (10, 10)]).is_none());
         mps.check_invariants().unwrap();
     }
 
     #[test]
     fn query_selects_the_covering_entry() {
         let (_, mps) = two_entry_structure();
-        assert_eq!(mps.query(&[(20, 20), (20, 20)]), Some(PlacementId(0)));
-        assert_eq!(mps.query(&[(80, 50), (50, 50)]), Some(PlacementId(1)));
+        assert_eq!(mps.query(&dims![(20, 20), (20, 20)]), Some(PlacementId(0)));
+        assert_eq!(mps.query(&dims![(80, 50), (50, 50)]), Some(PlacementId(1)));
         // w0=50 belongs to entry 0's box; h0 beyond 50 is uncovered.
-        assert_eq!(mps.query(&[(50, 80), (20, 20)]), None);
+        assert_eq!(mps.query(&dims![(50, 80), (20, 20)]), None);
     }
 
     #[test]
     fn query_rejects_bad_arity_and_out_of_bounds() {
         let (_, mps) = two_entry_structure();
-        assert!(mps.query(&[(20, 20)]).is_none());
-        assert!(mps.query(&[(500, 20), (20, 20)]).is_none());
+        assert!(mps.query(&dims![(20, 20)]).is_none());
+        assert!(mps.query(&dims![(500, 20), (20, 20)]).is_none());
     }
 
     #[test]
     fn instantiate_clones_coordinates() {
         let (_, mps) = two_entry_structure();
-        let p = mps.instantiate(&[(20, 20), (20, 20)]).unwrap();
+        let p = mps.instantiate(&dims![(20, 20), (20, 20)]).unwrap();
         assert_eq!(p.coords()[1], Point::new(60, 0));
     }
 
     #[test]
     fn compacted_instantiation_is_legal_and_compact() {
         let (_, mps) = two_entry_structure();
-        let dims = [(20, 20), (20, 20)];
+        let dims = dims![(20, 20), (20, 20)];
         let fixed = mps.instantiate(&dims).unwrap();
         let packed = mps.instantiate_compacted(&dims).unwrap();
         assert!(packed.is_legal(&dims, None));
@@ -680,15 +811,17 @@ mod tests {
             "packing must not grow the bounding box ({bb_packed:?} vs {bb_fixed:?})"
         );
         // Uncovered space: falls back.
-        assert!(mps.instantiate_compacted(&[(50, 80), (20, 20)]).is_none());
-        let fb = mps.instantiate_compacted_or_fallback(&[(50, 80), (20, 20)]);
+        assert!(mps
+            .instantiate_compacted(&dims![(50, 80), (20, 20)])
+            .is_none());
+        let fb = mps.instantiate_compacted_or_fallback(&dims![(50, 80), (20, 20)]);
         assert!(fb.is_legal(&[(50, 80), (20, 20)], None));
     }
 
     #[test]
     fn fallback_serves_uncovered_space() {
         let (c, mut mps) = two_entry_structure();
-        let dims = [(50, 80), (20, 20)];
+        let dims = dims![(50, 80), (20, 20)];
         assert!(mps.instantiate(&dims).is_none());
         let p = mps.instantiate_or_fallback(&dims);
         assert!(p.is_legal(&dims, None));
@@ -737,7 +870,10 @@ mod tests {
             1.0,
         ));
         let err = mps.check_invariants().unwrap_err();
-        assert!(err.contains("illegal"), "{err}");
+        assert!(
+            matches!(err, InvariantError::IllegalPlacement { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -746,8 +882,8 @@ mod tests {
         mps.remove(PlacementId(0));
         assert_eq!(mps.placement_count(), 1);
         assert!(mps.entry(PlacementId(0)).is_none());
-        assert!(mps.query(&[(20, 20), (20, 20)]).is_none());
-        assert_eq!(mps.query(&[(80, 50), (50, 50)]), Some(PlacementId(1)));
+        assert!(mps.query(&dims![(20, 20), (20, 20)]).is_none());
+        assert_eq!(mps.query(&dims![(80, 50), (50, 50)]), Some(PlacementId(1)));
         mps.check_invariants().unwrap();
         // Removing twice is a no-op.
         mps.remove(PlacementId(0));
@@ -762,8 +898,8 @@ mod tests {
             BlockRanges::new(Interval::new(10, 50), Interval::new(10, 50)),
         ]);
         mps.shrink(PlacementId(0), new_box);
-        assert_eq!(mps.query(&[(20, 20), (20, 20)]), Some(PlacementId(0)));
-        assert!(mps.query(&[(40, 20), (20, 20)]).is_none());
+        assert_eq!(mps.query(&dims![(20, 20), (20, 20)]), Some(PlacementId(0)));
+        assert!(mps.query(&dims![(40, 20), (20, 20)]).is_none());
         mps.check_invariants().unwrap();
     }
 
@@ -817,7 +953,7 @@ mod tests {
         let json = serde_json::to_string(&mps).unwrap();
         let back: MultiPlacementStructure = serde_json::from_str(&json).unwrap();
         assert_eq!(back.placement_count(), 2);
-        assert_eq!(back.query(&[(20, 20), (20, 20)]), Some(PlacementId(0)));
+        assert_eq!(back.query(&dims![(20, 20), (20, 20)]), Some(PlacementId(0)));
         back.check_invariants().unwrap();
     }
 }

@@ -16,7 +16,7 @@
 
 use crate::MultiPlacementStructure;
 use mps_anneal::{AnnealStats, Annealer, AnnealerConfig, Problem};
-use mps_geom::Coord;
+use mps_geom::Dims;
 use mps_netlist::modgen::SizingModel;
 use mps_netlist::Circuit;
 use mps_placer::CostCalculator;
@@ -63,7 +63,7 @@ pub struct SynthesisOutcome {
     /// Best parameter vector found.
     pub best_params: Vec<f64>,
     /// Its block dimensions.
-    pub best_dims: Vec<(Coord, Coord)>,
+    pub best_dims: Dims,
     /// Its performance value.
     pub best_performance: f64,
     /// Placement queries issued (one per sizing candidate).
@@ -183,7 +183,7 @@ impl<'a> SynthesisLoop<'a> {
         }
     }
 
-    fn dims_for(&self, params: &[f64]) -> Vec<(Coord, Coord)> {
+    fn dims_for(&self, params: &[f64]) -> Dims {
         self.circuit.clamp_dims(&self.model.dims(params))
     }
 

@@ -5,7 +5,7 @@
 //! out-of-bounds values and wrong-arity vectors.
 
 use mps_core::{GeneratorConfig, MpsGenerator, MultiPlacementStructure};
-use mps_geom::Coord;
+use mps_geom::{Coord, Dims};
 use mps_netlist::benchmarks::{self, random_circuit};
 use mps_netlist::Circuit;
 use proptest::prelude::*;
@@ -26,7 +26,7 @@ fn generate(circuit: &Circuit, seed: u64) -> MultiPlacementStructure {
 /// A mixed probe stream: mostly uniform in-bounds vectors, salted with
 /// out-of-bounds values (query must answer `None`, not panic) and
 /// wrong-arity vectors (likewise).
-fn probe_stream(circuit: &Circuit, n: usize, seed: u64) -> Vec<Vec<(Coord, Coord)>> {
+fn probe_stream(circuit: &Circuit, n: usize, seed: u64) -> Vec<Dims> {
     let bounds = circuit.dim_bounds();
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
@@ -47,12 +47,14 @@ fn probe_stream(circuit: &Circuit, n: usize, seed: u64) -> Vec<Vec<(Coord, Coord
                 }
                 _ => {}
             }
-            dims
+            // Unchecked: the stream deliberately carries out-of-bounds
+            // and wrong-arity mutants both paths must answer None for.
+            Dims::from_vec_unchecked(dims)
         })
         .collect()
 }
 
-fn assert_all_paths_agree(mps: &MultiPlacementStructure, queries: &[Vec<(Coord, Coord)>]) {
+fn assert_all_paths_agree(mps: &MultiPlacementStructure, queries: &[Dims]) {
     let batch = mps.query_batch(queries);
     assert_eq!(batch.len(), queries.len());
     let mut scratch = Vec::new();

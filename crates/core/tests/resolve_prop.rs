@@ -45,7 +45,7 @@ proptest! {
         // dead id and the owner always covers the point.
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
         for _ in 0..40 {
-            let dims: Vec<(i64, i64)> = circuit
+            let dims: mps_geom::Dims = circuit
                 .dim_bounds()
                 .iter()
                 .map(|b| {

@@ -13,6 +13,9 @@
 //! * [`DimsBox`] — a product of per-block `(w, h)` intervals: the
 //!   hyper-rectangular validity region of one stored placement in the
 //!   2N-dimensional block-dimension space.
+//! * [`Dims`] — a validated dimension vector (one `(w, h)` pair per
+//!   block): the typed argument of every query/instantiation seam,
+//!   wire-compatible with the raw `[[w, h], ...]` arrays it replaced.
 //! * [`svg`] — a tiny renderer producing floorplan pictures (Figs. 5 and 7).
 //!
 //! Everything is integer-based: the paper's interval objects are integer
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dims;
 mod dims_box;
 mod interval;
 mod interval_map;
@@ -46,6 +50,7 @@ mod point;
 mod rect;
 pub mod svg;
 
+pub use dims::{Dims, DimsError};
 pub use dims_box::{Axis, BlockRanges, DimIndex, DimsBox};
 pub use interval::{Interval, SubtractResult, TryNewIntervalError};
 pub use interval_map::IntervalMap;

@@ -4,7 +4,7 @@
 //! violating the type's invariants).
 #![cfg(feature = "serde")]
 
-use mps_geom::{BlockRanges, DimIndex, DimsBox, Interval, IntervalMap, Point, Rect};
+use mps_geom::{BlockRanges, DimIndex, Dims, DimsBox, Interval, IntervalMap, Point, Rect};
 use proptest::prelude::*;
 
 fn interval() -> impl Strategy<Value = Interval> {
@@ -22,6 +22,11 @@ fn block_ranges() -> impl Strategy<Value = BlockRanges> {
 
 fn dims_box() -> impl Strategy<Value = DimsBox> {
     prop::collection::vec(block_ranges(), 1..6).prop_map(DimsBox::new)
+}
+
+fn dims() -> impl Strategy<Value = Dims> {
+    prop::collection::vec((1i64..5_000, 1i64..5_000), 1..9)
+        .prop_map(|pairs| Dims::new(pairs).expect("strategy yields valid pairs"))
 }
 
 fn interval_map() -> impl Strategy<Value = IntervalMap<u32>> {
@@ -49,6 +54,20 @@ proptest! {
     #[test]
     fn rect_roundtrips(r in rect()) {
         prop_assert_eq!(roundtrip(&r), r);
+    }
+
+    /// `Dims` is wire-transparent: it round-trips through JSON and its
+    /// serialized form is byte-identical to the raw `[[w, h], ...]`
+    /// vector it replaced (the mps-v1 envelope and the serve protocol
+    /// never see the difference).
+    #[test]
+    fn dims_roundtrips_on_the_raw_wire_format(d in dims()) {
+        prop_assert_eq!(&roundtrip(&d), &d);
+        let raw: Vec<(i64, i64)> = d.as_pairs().to_vec();
+        prop_assert_eq!(
+            serde_json::to_string(&d).expect("serialize"),
+            serde_json::to_string(&raw).expect("serialize")
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Circuits: blocks plus the nets connecting them.
 
 use crate::{Block, BlockId, Net};
-use mps_geom::{BlockRanges, Coord, DimsBox, Rect};
+use mps_geom::{BlockRanges, Coord, Dims, DimsBox, Rect};
 use std::fmt;
 
 /// Errors detected by [`Circuit::validate`] / [`CircuitBuilder::build`].
@@ -182,40 +182,50 @@ impl Circuit {
 
     /// Every block at its minimum dimensions — the Placement Selector's
     /// starting point (§3.1.1).
+    ///
+    /// Block bounds are validated positive at construction, so the result
+    /// is always a valid [`Dims`].
     #[must_use]
-    pub fn min_dims(&self) -> Vec<(Coord, Coord)> {
-        self.blocks
-            .iter()
-            .map(|b| (b.min_width(), b.min_height()))
-            .collect()
+    pub fn min_dims(&self) -> Dims {
+        Dims::from_vec_unchecked(
+            self.blocks
+                .iter()
+                .map(|b| (b.min_width(), b.min_height()))
+                .collect(),
+        )
     }
 
     /// Every block at its maximum dimensions.
     #[must_use]
-    pub fn max_dims(&self) -> Vec<(Coord, Coord)> {
-        self.blocks
-            .iter()
-            .map(|b| (b.max_width(), b.max_height()))
-            .collect()
+    pub fn max_dims(&self) -> Dims {
+        Dims::from_vec_unchecked(
+            self.blocks
+                .iter()
+                .map(|b| (b.max_width(), b.max_height()))
+                .collect(),
+        )
     }
 
-    /// Clamps a dimension vector into every block's bounds.
+    /// Clamps a dimension vector into every block's bounds. The result
+    /// always satisfies [`Circuit::admits_dims`].
     ///
     /// # Panics
     ///
     /// Panics if `dims.len() != self.block_count()`.
     #[must_use]
-    pub fn clamp_dims(&self, dims: &[(Coord, Coord)]) -> Vec<(Coord, Coord)> {
+    pub fn clamp_dims(&self, dims: &[(Coord, Coord)]) -> Dims {
         assert_eq!(
             dims.len(),
             self.blocks.len(),
             "dimension vector length mismatch"
         );
-        self.blocks
-            .iter()
-            .zip(dims)
-            .map(|(b, &(w, h))| b.clamp_dims(w, h))
-            .collect()
+        Dims::from_vec_unchecked(
+            self.blocks
+                .iter()
+                .zip(dims)
+                .map(|(b, &(w, h))| b.clamp_dims(w, h))
+                .collect(),
+        )
     }
 
     /// Whether the dimension vector lies within every block's bounds.
@@ -287,6 +297,45 @@ impl fmt::Display for Circuit {
             self.net_count(),
             self.terminal_count()
         )
+    }
+}
+
+/// Circuit-aware operations on typed dimension vectors.
+///
+/// [`Dims`] lives in `mps-geom`, which knows nothing about circuits;
+/// this extension puts the circuit-facing conveniences on the vector
+/// itself so facade code reads in the data-flow direction:
+///
+/// ```
+/// use mps_netlist::{benchmarks, DimsCircuitExt};
+/// let circuit = benchmarks::circ01();
+/// let sizing = circuit.max_dims().clamp_to(&circuit);
+/// assert!(sizing.admitted_by(&circuit));
+/// ```
+pub trait DimsCircuitExt {
+    /// Clamps every pair into the circuit's per-block designer bounds —
+    /// the typed spelling of [`Circuit::clamp_dims`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector's arity differs from the circuit's block
+    /// count.
+    #[must_use]
+    fn clamp_to(&self, circuit: &Circuit) -> Dims;
+
+    /// Whether the circuit admits this vector: matching arity and every
+    /// pair inside its block's designer bounds.
+    #[must_use]
+    fn admitted_by(&self, circuit: &Circuit) -> bool;
+}
+
+impl DimsCircuitExt for Dims {
+    fn clamp_to(&self, circuit: &Circuit) -> Dims {
+        circuit.clamp_dims(self)
+    }
+
+    fn admitted_by(&self, circuit: &Circuit) -> bool {
+        self.within_bounds(&circuit.dim_bounds())
     }
 }
 

@@ -42,5 +42,5 @@ pub mod modgen;
 mod net;
 
 pub use block::{Block, BlockId};
-pub use circuit::{Circuit, CircuitBuilder, ValidateCircuitError};
+pub use circuit::{Circuit, CircuitBuilder, DimsCircuitExt, ValidateCircuitError};
 pub use net::{Net, Pad, PadSide, Pin, PinOffset};

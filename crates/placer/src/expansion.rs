@@ -72,7 +72,7 @@ pub fn expand_placement(
 ) -> Result<DimsBox, ExpandPlacementError> {
     let n = circuit.block_count();
     assert_eq!(placement.block_count(), n, "placement arity mismatch");
-    let mut end_dims: Vec<(Coord, Coord)> = circuit.min_dims();
+    let mut end_dims: Vec<(Coord, Coord)> = circuit.min_dims().into_vec();
     if !placement.is_legal(&end_dims, Some(floorplan)) {
         return Err(ExpandPlacementError);
     }

@@ -24,7 +24,7 @@
 //! on every load and the test suite runs it with ≥ 10,000 probes.
 
 use mps_core::{MultiPlacementStructure, PlacementId};
-use mps_geom::Coord;
+use mps_geom::{Coord, Dims};
 
 /// Reusable per-query candidate state for [`CompiledQueryIndex`].
 ///
@@ -190,6 +190,17 @@ impl CompiledQueryIndex {
     #[must_use]
     pub fn query_with_scratch(
         &self,
+        dims: &Dims,
+        scratch: &mut QueryScratch,
+    ) -> Option<PlacementId> {
+        self.query_slice(dims, scratch)
+    }
+
+    /// The raw-slice walk shared by the typed path and the deprecated
+    /// `*_pairs` shims — one implementation, bit-identical by
+    /// construction.
+    fn query_slice(
+        &self,
         dims: &[(Coord, Coord)],
         scratch: &mut QueryScratch,
     ) -> Option<PlacementId> {
@@ -239,19 +250,43 @@ impl CompiledQueryIndex {
     /// heap allocation per call). Query loops should hold a
     /// [`QueryScratch`] or use [`Self::query_batch`] instead.
     #[must_use]
-    pub fn query(&self, dims: &[(Coord, Coord)]) -> Option<PlacementId> {
-        self.query_with_scratch(dims, &mut QueryScratch::new())
+    pub fn query(&self, dims: &Dims) -> Option<PlacementId> {
+        self.query_slice(dims, &mut QueryScratch::new())
     }
 
     /// Answers a stream of dimension vectors through one scratch buffer:
     /// element `k` of the result equals `self.query(&queries[k])`.
     #[must_use]
-    pub fn query_batch(&self, queries: &[Vec<(Coord, Coord)>]) -> Vec<Option<PlacementId>> {
+    pub fn query_batch(&self, queries: &[Dims]) -> Vec<Option<PlacementId>> {
         let mut scratch = QueryScratch::new();
         queries
             .iter()
-            .map(|dims| self.query_with_scratch(dims, &mut scratch))
+            .map(|dims| self.query_slice(dims, &mut scratch))
             .collect()
+    }
+
+    /// [`Self::query`] over a raw pair slice.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a typed `mps_geom::Dims` and call `query`"
+    )]
+    #[must_use]
+    pub fn query_pairs(&self, dims: &[(Coord, Coord)]) -> Option<PlacementId> {
+        self.query_slice(dims, &mut QueryScratch::new())
+    }
+
+    /// [`Self::query_with_scratch`] over a raw pair slice.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a typed `mps_geom::Dims` and call `query_with_scratch`"
+    )]
+    #[must_use]
+    pub fn query_with_scratch_pairs(
+        &self,
+        dims: &[(Coord, Coord)],
+        scratch: &mut QueryScratch,
+    ) -> Option<PlacementId> {
+        self.query_slice(dims, scratch)
     }
 
     /// Differential check against the interpretive path: `probes`
@@ -307,11 +342,14 @@ impl CompiledQueryIndex {
             if arity_mutant {
                 dims.pop();
             }
-            let reference = mps.query(&dims);
-            let compiled = self.query_with_scratch(&dims, &mut scratch);
+            // Unchecked wrap: the probe stream deliberately carries
+            // out-of-bounds and wrong-arity mutants.
+            let probe = Dims::from_vec_unchecked(dims.clone());
+            let reference = mps.query(&probe);
+            let compiled = self.query_slice(&probe, &mut scratch);
             if reference != compiled {
                 return Err(format!(
-                    "probe {k} ({dims:?}): structure answers {reference:?}, \
+                    "probe {k} ({probe:?}): structure answers {reference:?}, \
                      compiled index answers {compiled:?}"
                 ));
             }
@@ -381,6 +419,7 @@ mod tests {
             vec![(500, 20), (20, 20)],
             vec![(20, 20)],
         ] {
+            let dims = Dims::from_vec_unchecked(dims);
             assert_eq!(
                 index.query_with_scratch(&dims, &mut scratch),
                 mps.query(&dims),
@@ -401,7 +440,7 @@ mod tests {
         let mps = MultiPlacementStructure::new(&c, Rect::from_xywh(0, 0, 400, 400));
         let index = CompiledQueryIndex::build(&mps);
         assert_eq!(index.bitset_words(), 0);
-        assert_eq!(index.query(&[(20, 20), (20, 20)]), None);
+        assert_eq!(index.query(&mps_geom::dims![(20, 20), (20, 20)]), None);
         index.verify_against(&mps, 500, 1).unwrap();
     }
 
@@ -410,9 +449,9 @@ mod tests {
         let mps = two_entry_structure();
         let index = CompiledQueryIndex::build(&mps);
         let queries = vec![
-            vec![(20, 20), (20, 20)],
-            vec![(80, 50), (50, 50)],
-            vec![(50, 80), (20, 20)],
+            mps_geom::dims![(20, 20), (20, 20)],
+            mps_geom::dims![(80, 50), (50, 50)],
+            mps_geom::dims![(50, 80), (20, 20)],
         ];
         assert_eq!(index.query_batch(&queries), mps.query_batch(&queries));
     }

@@ -13,7 +13,7 @@
 //! ← {"ok":true,"kind":"query","structure":"circ02","id":13}
 //! ```
 
-use mps_geom::Coord;
+use mps_geom::{Coord, Dims};
 use serde::{Map, Serialize, Value};
 
 /// Every request kind the server understands, as spelled on the wire.
@@ -32,15 +32,16 @@ pub enum Request {
     Query {
         /// Registry name of the target structure.
         structure: String,
-        /// One `(w, h)` pair per block.
-        dims: Vec<(Coord, Coord)>,
+        /// One `(w, h)` pair per block. Decoded leniently — values are
+        /// validated against the addressed structure by the server.
+        dims: Dims,
     },
     /// Look up a whole stream of dimension vectors in one round trip.
     BatchQuery {
         /// Registry name of the target structure.
         structure: String,
         /// The dimension vectors, answered element-wise.
-        dims_list: Vec<Vec<(Coord, Coord)>>,
+        dims_list: Vec<Dims>,
     },
     /// Materialize the placement (block coordinates) for one vector,
     /// falling back to the backup packing in uncovered space.
@@ -48,7 +49,7 @@ pub enum Request {
         /// Registry name of the target structure.
         structure: String,
         /// One `(w, h)` pair per block.
-        dims: Vec<(Coord, Coord)>,
+        dims: Dims,
     },
     /// Server and per-structure counters.
     Stats,
@@ -203,8 +204,10 @@ fn required_string(obj: &Map, member: &str) -> Result<String, RequestError> {
     })
 }
 
-/// Decodes a `[[w, h], ...]` dimension vector.
-fn dims_vector(value: Option<&Value>, member: &str) -> Result<Vec<(Coord, Coord)>, RequestError> {
+/// Decodes a `[[w, h], ...]` dimension vector into a lenient [`Dims`]
+/// (wire values are validated against the addressed structure later, in
+/// the server, where arity and bounds are known).
+fn dims_vector(value: Option<&Value>, member: &str) -> Result<Dims, RequestError> {
     let value = value.ok_or_else(|| {
         RequestError::new(ErrorKind::Protocol, format!("missing `{member}` member"))
     })?;
@@ -252,7 +255,8 @@ fn dims_vector(value: Option<&Value>, member: &str) -> Result<Vec<(Coord, Coord)
             };
             Ok((coord(&wh[0], "width")?, coord(&wh[1], "height")?))
         })
-        .collect()
+        .collect::<Result<Vec<(Coord, Coord)>, RequestError>>()
+        .map(Dims::from_vec_unchecked)
 }
 
 /// Renders a `{"ok":false,"error":{...}}` response line (without the
@@ -302,7 +306,7 @@ mod tests {
             parse_request(r#"{"kind":"query","structure":"s","dims":[[1,2],[3,4]]}"#).unwrap(),
             Request::Query {
                 structure: "s".into(),
-                dims: vec![(1, 2), (3, 4)],
+                dims: Dims::from_vec_unchecked(vec![(1, 2), (3, 4)]),
             }
         );
         assert_eq!(
@@ -312,14 +316,20 @@ mod tests {
             .unwrap(),
             Request::BatchQuery {
                 structure: "s".into(),
-                dims_list: vec![vec![(1, 2)], vec![(3, 4)]],
+                dims_list: vec![
+                    Dims::from_vec_unchecked(vec![(1, 2)]),
+                    Dims::from_vec_unchecked(vec![(3, 4)])
+                ],
             }
         );
+        // Negative values survive parsing: bounds rejection is the
+        // server's job (typed `out_of_bounds` / `id: null`), not the
+        // wire decoder's.
         assert_eq!(
             parse_request(r#"{"kind":"instantiate","structure":"s","dims":[[-5,7]]}"#).unwrap(),
             Request::Instantiate {
                 structure: "s".into(),
-                dims: vec![(-5, 7)],
+                dims: Dims::from_vec_unchecked(vec![(-5, 7)]),
             }
         );
         assert_eq!(

@@ -134,22 +134,41 @@ impl ServedStructure {
     /// # Panics
     ///
     /// Panics if the compiled index diverges from the structure's own
-    /// query path — that is a compiler bug, never valid input.
+    /// query path — that is a compiler bug, never valid input. Fallible
+    /// callers (the `Workspace` facade) use
+    /// [`ServedStructure::try_from_structure`] instead.
     #[must_use]
     pub fn from_structure(name: impl Into<String>, structure: MultiPlacementStructure) -> Self {
+        let name = name.into();
+        Self::try_from_structure(name.clone(), structure)
+            .unwrap_or_else(|e| panic!("compiled index diverges for structure `{name}`: {e}"))
+    }
+
+    /// [`ServedStructure::from_structure`] with the compiled/interpretive
+    /// cross-check surfaced as an error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Equivalence`] when the compiled index
+    /// diverges from the structure's own query path.
+    pub fn try_from_structure(
+        name: impl Into<String>,
+        structure: MultiPlacementStructure,
+    ) -> Result<Self, ServeError> {
         let name = name.into();
         let index = CompiledQueryIndex::build(&structure);
         index
             .verify_against(&structure, LOAD_CHECK_PROBES, 0x5EED_C0DE)
-            .unwrap_or_else(|detail| {
-                panic!("compiled index diverges for structure `{name}`: {detail}")
-            });
-        Self {
+            .map_err(|detail| ServeError::Equivalence {
+                path: PathBuf::from(format!("<in-memory:{name}>")),
+                detail,
+            })?;
+        Ok(Self {
             name,
             path: None,
             structure,
             index,
-        }
+        })
     }
 
     /// The name clients address the structure by (the artifact file stem,
@@ -271,8 +290,11 @@ impl StructureRegistry {
 
     /// Publishes (or replaces) one structure by name: copy-on-write on
     /// the snapshot map, single `Arc` swap, readers never blocked.
-    pub fn publish(&self, served: ServedStructure) {
-        let served = Arc::new(served);
+    /// Accepts both a bare [`ServedStructure`] and an
+    /// `Arc<ServedStructure>` already shared elsewhere (e.g. a
+    /// `Workspace` handle).
+    pub fn publish(&self, served: impl Into<Arc<ServedStructure>>) {
+        let served = served.into();
         let mut guard = self.map.write().expect("registry lock poisoned");
         let mut next: HashMap<String, Arc<ServedStructure>> = (**guard).clone();
         next.insert(served.name().to_owned(), served);

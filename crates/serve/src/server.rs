@@ -12,7 +12,7 @@ use crate::protocol::{
 };
 use crate::registry::{ServedStructure, StructureRegistry};
 use mps_core::PlacementId;
-use mps_geom::Coord;
+use mps_geom::Dims;
 use serde::{Map, Serialize, Value};
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -204,11 +204,7 @@ impl Server {
         })
     }
 
-    fn check_arity(
-        &self,
-        served: &ServedStructure,
-        dims: &[(Coord, Coord)],
-    ) -> Result<(), RequestError> {
+    fn check_arity(&self, served: &ServedStructure, dims: &Dims) -> Result<(), RequestError> {
         let blocks = served.structure().block_count();
         if dims.len() != blocks {
             return Err(RequestError::new(
@@ -223,11 +219,7 @@ impl Server {
         Ok(())
     }
 
-    fn check_bounds(
-        &self,
-        served: &ServedStructure,
-        dims: &[(Coord, Coord)],
-    ) -> Result<(), RequestError> {
+    fn check_bounds(&self, served: &ServedStructure, dims: &Dims) -> Result<(), RequestError> {
         for (i, (&(w, h), b)) in dims.iter().zip(served.structure().bounds()).enumerate() {
             if !b.w.contains(w) || !b.h.contains(h) {
                 return Err(RequestError::new(
@@ -250,16 +242,13 @@ impl Server {
     fn batch_ids(
         &self,
         served: &Arc<ServedStructure>,
-        dims_list: Vec<Vec<(Coord, Coord)>>,
+        dims_list: Vec<Dims>,
     ) -> Result<Vec<Option<PlacementId>>, RequestError> {
         if dims_list.len() < PARALLEL_BATCH_THRESHOLD || self.pool.workers() == 1 {
             return Ok(served.index().query_batch(&dims_list));
         }
         let chunk_len = dims_list.len().div_ceil(self.pool.workers() * 4);
-        let chunks: Vec<Vec<Vec<(Coord, Coord)>>> = dims_list
-            .chunks(chunk_len)
-            .map(<[Vec<(Coord, Coord)>]>::to_vec)
-            .collect();
+        let chunks: Vec<Vec<Dims>> = dims_list.chunks(chunk_len).map(<[Dims]>::to_vec).collect();
         let worker_input = Arc::clone(served);
         let answered = self
             .pool
@@ -323,6 +312,7 @@ impl Server {
 mod tests {
     use super::*;
     use mps_core::{GeneratorConfig, MpsGenerator};
+    use mps_geom::Coord;
     use mps_netlist::benchmarks;
 
     fn test_server() -> Server {
@@ -346,7 +336,7 @@ mod tests {
     fn query_answers_match_direct_path() {
         let server = test_server();
         let served = server.registry().get("circ01").unwrap();
-        let dims: Vec<(Coord, Coord)> = served
+        let dims: Dims = served
             .structure()
             .bounds()
             .iter()
@@ -397,7 +387,7 @@ mod tests {
         let server = test_server();
         let served = server.registry().get("circ01").unwrap();
         let bounds = served.structure().bounds().to_vec();
-        let vector = |k: usize| -> Vec<(Coord, Coord)> {
+        let vector = |k: usize| -> Dims {
             bounds
                 .iter()
                 .map(|b| {
@@ -408,8 +398,7 @@ mod tests {
                 })
                 .collect()
         };
-        let dims_list: Vec<Vec<(Coord, Coord)>> =
-            (0..PARALLEL_BATCH_THRESHOLD + 100).map(vector).collect();
+        let dims_list: Vec<Dims> = (0..PARALLEL_BATCH_THRESHOLD + 100).map(vector).collect();
         let expected = served.structure().query_batch(&dims_list);
         let pooled = server.batch_ids(&served, dims_list).unwrap();
         assert_eq!(pooled, expected);

@@ -5,7 +5,7 @@
 //! save/load-cycled structure, and property-based over random circuits.
 
 use mps_core::{GeneratorConfig, MpsGenerator, MultiPlacementStructure};
-use mps_geom::Coord;
+use mps_geom::{Coord, Dims};
 use mps_netlist::benchmarks::{self, random_circuit};
 use mps_netlist::Circuit;
 use mps_serve::{CompiledQueryIndex, QueryScratch};
@@ -26,7 +26,7 @@ fn generate(circuit: &Circuit, outer: usize, inner: usize, seed: u64) -> MultiPl
 
 /// Random probes over (and slightly beyond) the circuit's dimension
 /// space: uniform in-bounds vectors salted with out-of-bounds values.
-fn probes(circuit: &Circuit, n: usize, seed: u64) -> Vec<Vec<(Coord, Coord)>> {
+fn probes(circuit: &Circuit, n: usize, seed: u64) -> Vec<Dims> {
     let bounds = circuit.dim_bounds();
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
@@ -44,12 +44,14 @@ fn probes(circuit: &Circuit, n: usize, seed: u64) -> Vec<Vec<(Coord, Coord)>> {
                 let i = k % bounds.len();
                 dims[i].1 = bounds[i].h.hi() + 1 + rng.random_range(0..50);
             }
-            dims
+            // Unchecked: the stream deliberately carries out-of-bounds
+            // salt both paths must answer None for.
+            Dims::from_vec_unchecked(dims)
         })
         .collect()
 }
 
-fn assert_bit_identical(mps: &MultiPlacementStructure, stream: &[Vec<(Coord, Coord)>]) {
+fn assert_bit_identical(mps: &MultiPlacementStructure, stream: &[Dims]) {
     let index = CompiledQueryIndex::build(mps);
     let mut scratch = QueryScratch::new();
     let mut answered = 0usize;

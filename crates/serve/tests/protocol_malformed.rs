@@ -139,7 +139,7 @@ fn server_survives_the_whole_battery_and_still_answers() {
     }
     // After every mutant: a good query still gets a correct answer ...
     let served = server.registry().get("circ01").unwrap();
-    let dims: Vec<(i64, i64)> = served
+    let dims: mps_geom::Dims = served
         .structure()
         .bounds()
         .iter()

@@ -1,0 +1,52 @@
+//! Property-based wire round-trip of typed dimension vectors through
+//! the serve protocol: a `Dims` serialized into a request line decodes
+//! back to the identical `Dims` (including negative/out-of-range values,
+//! which the protocol deliberately passes through to the server's typed
+//! bounds validation).
+#![cfg(feature = "serde")]
+
+use mps_geom::Dims;
+use mps_serve::{parse_request, Request};
+use proptest::prelude::*;
+use serde::{Map, Serialize, Value};
+
+fn raw_pairs() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((-10_000i64..10_000, -10_000i64..10_000), 1..9)
+}
+
+fn name() -> impl Strategy<Value = String> {
+    (0u32..10_000).prop_map(|i| format!("structure_{i}"))
+}
+
+proptest! {
+    /// query: the `dims` member round-trips bit-for-bit.
+    #[test]
+    fn query_dims_roundtrip_through_the_wire(pairs in raw_pairs(), name in name()) {
+        let dims = Dims::from_vec_unchecked(pairs);
+        let mut map = Map::new();
+        map.insert("kind", Value::String("query".into()));
+        map.insert("structure", Value::String(name.clone()));
+        map.insert("dims", dims.to_value());
+        let line = serde_json::to_string(&Value::Object(map)).unwrap();
+
+        let request = parse_request(&line).expect("well-formed line parses");
+        prop_assert_eq!(request, Request::Query { structure: name, dims });
+    }
+
+    /// batch_query: every element of `dims_list` round-trips in order.
+    #[test]
+    fn batch_dims_roundtrip_through_the_wire(
+        lists in prop::collection::vec(raw_pairs(), 1..5),
+        name in name(),
+    ) {
+        let dims_list: Vec<Dims> = lists.into_iter().map(Dims::from_vec_unchecked).collect();
+        let mut map = Map::new();
+        map.insert("kind", Value::String("batch_query".into()));
+        map.insert("structure", Value::String(name.clone()));
+        map.insert("dims_list", dims_list.to_value());
+        let line = serde_json::to_string(&Value::Object(map)).unwrap();
+
+        let request = parse_request(&line).expect("well-formed line parses");
+        prop_assert_eq!(request, Request::BatchQuery { structure: name, dims_list });
+    }
+}

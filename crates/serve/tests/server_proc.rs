@@ -42,7 +42,7 @@ fn query_line(name: &str, dims: &[(Coord, Coord)]) -> String {
     )
 }
 
-fn random_stream(n: usize, seed: u64) -> Vec<Vec<(Coord, Coord)>> {
+fn random_stream(n: usize, seed: u64) -> Vec<mps_geom::Dims> {
     let bounds = benchmarks::circ01().dim_bounds();
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 3. The compiled query plan: identical answers, faster --------
     let served = registry.get("circ02").expect("just loaded");
     let index: &CompiledQueryIndex = served.index();
-    let queries: Vec<Vec<(i64, i64)>> = {
+    let queries: Vec<analog_mps::Dims> = {
         use analog_mps::geom::Coord;
         let bounds = circuit.dim_bounds();
         let n = 20_000usize;

@@ -1,0 +1,500 @@
+//! The workspace: one session object spanning generate → persist →
+//! compile → serve.
+//!
+//! The paper's economics are *generate once, query many* (Fig. 1); the
+//! repo grew each stage separately — [`MpsGenerator`] for generation,
+//! `save_json`/`load_json` for persistence, [`CompiledQueryIndex`] for
+//! the serving hot path, [`StructureRegistry`] for hot-swappable
+//! serving — and every consumer re-stitched them by hand. A
+//! [`Workspace`] is that stitching done once, behind one directory:
+//!
+//! * [`Workspace::generate_or_load`] resolves a structure by name:
+//!   an existing `mps-v1` artifact is loaded (re-validated, circuit
+//!   cross-checked), otherwise the structure is generated **and
+//!   persisted** so the next session loads instead;
+//! * every handle auto-compiles a [`CompiledQueryIndex`], cross-checked
+//!   against the interpretive path before first use, so
+//!   [`Workspace::query`] always runs the fast plan with bit-identical
+//!   answers;
+//! * [`Workspace::serve_registry`] opens the same directory as a
+//!   hot-swappable [`StructureRegistry`], ready to put behind
+//!   `mps-serve`.
+//!
+//! [`MpsGenerator`]: mps_core::MpsGenerator
+//! [`CompiledQueryIndex`]: mps_serve::CompiledQueryIndex
+
+use crate::api::{MpsError, QueryError};
+use mps_core::{
+    GenerationReport, GeneratorConfig, MpsGenerator, MultiPlacementStructure, PlacementId,
+};
+use mps_geom::Dims;
+use mps_netlist::Circuit;
+use mps_placer::Placement;
+use mps_serve::{ServedStructure, StructureRegistry};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A structure handle: the validated structure plus its compiled query
+/// index, immutable for its whole life (the same type the serving
+/// registry hands out).
+pub type StructureHandle = ServedStructure;
+
+/// How [`Workspace::generate_or_load`] came by a structure.
+#[derive(Debug)]
+pub enum ArtifactSource {
+    /// Freshly generated (and persisted); the report carries timing and
+    /// explorer counters.
+    Generated(GenerationReport),
+    /// Loaded and re-validated from this artifact file; no generation
+    /// happened.
+    Loaded(PathBuf),
+}
+
+/// A directory of named `mps-v1` artifacts plus the compiled handles
+/// over them — the facade's session object.
+///
+/// # Example
+///
+/// ```
+/// use analog_mps::api::Workspace;
+/// use analog_mps::mps::GeneratorConfig;
+/// use analog_mps::netlist::benchmarks;
+///
+/// # fn main() -> Result<(), analog_mps::api::MpsError> {
+/// let dir = std::env::temp_dir().join(format!("mps_ws_doc_{}", std::process::id()));
+/// let mut ws = Workspace::open(&dir)?;
+/// let circuit = benchmarks::circ01();
+/// let config = GeneratorConfig::builder().outer_iterations(25).seed(7).build();
+///
+/// // First call generates and persists; a rerun loads the artifact.
+/// ws.generate_or_load("circ01", &circuit, config)?;
+///
+/// // Typed queries through the compiled plan:
+/// let sizing = circuit.min_dims();
+/// let id = ws.query("circ01", &sizing)?;
+/// let placement = ws.instantiate("circ01", &sizing)?;
+/// assert!(placement.is_legal(&sizing, None));
+/// assert_eq!(id.is_some(), ws.handle("circ01")?.structure().query(&sizing).is_some());
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Workspace {
+    dir: PathBuf,
+    handles: BTreeMap<String, Arc<ServedStructure>>,
+}
+
+impl Workspace {
+    /// Opens (creating if necessary) a workspace directory.
+    ///
+    /// Opening is lazy: no artifact is read until it is addressed by
+    /// name, so a workspace over a large artifact store costs nothing
+    /// up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsError::Persist`] when the directory cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, MpsError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            handles: BTreeMap::new(),
+        })
+    }
+
+    /// The backing directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where the artifact for `name` lives:
+    /// `<dir>/<name>.mps.json` — the same layout the bench bins'
+    /// `--save` flag and the `mps-serve` registry use.
+    #[must_use]
+    pub fn artifact_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.mps.json"))
+    }
+
+    /// Names with a live handle in this session (loaded or generated),
+    /// sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.handles.keys().cloned().collect()
+    }
+
+    /// The live handle behind `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::UnknownStructure`] when `name` has not been
+    /// loaded or generated in this session.
+    pub fn handle(&self, name: &str) -> Result<&StructureHandle, MpsError> {
+        self.handles
+            .get(name)
+            .map(Arc::as_ref)
+            .ok_or_else(|| self.unknown(name))
+    }
+
+    /// A shareable reference to the handle behind `name` (for worker
+    /// pools and registries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::UnknownStructure`] when `name` has not been
+    /// loaded or generated in this session.
+    pub fn handle_arc(&self, name: &str) -> Result<Arc<StructureHandle>, MpsError> {
+        self.handles
+            .get(name)
+            .cloned()
+            .ok_or_else(|| self.unknown(name))
+    }
+
+    /// Resolves `name` for `circuit`: loads the artifact if present
+    /// (re-validating the envelope, the Eq.-5 battery, the compiled
+    /// index, *and* the circuit's dimension bounds), otherwise generates
+    /// under `config` and persists the result for future sessions.
+    ///
+    /// # Errors
+    ///
+    /// Any stage error: [`MpsError::Persist`] on a corrupt artifact or
+    /// unwritable directory, [`QueryError::CircuitMismatch`] when the
+    /// artifact belongs to a different circuit, [`MpsError::Generate`]
+    /// on invalid circuits, [`MpsError::Serve`] when the compiled index
+    /// diverges.
+    pub fn generate_or_load(
+        &mut self,
+        name: &str,
+        circuit: &Circuit,
+        config: GeneratorConfig,
+    ) -> Result<(&StructureHandle, ArtifactSource), MpsError> {
+        let path = self.artifact_path(name);
+        if path.is_file() {
+            // Validate fully *before* installing: a wrong-circuit
+            // artifact must not become (or replace) a live handle.
+            let served = ServedStructure::open(name, &path)?;
+            if served.structure().bounds() != circuit.dim_bounds() {
+                return Err(QueryError::CircuitMismatch { name: name.into() }.into());
+            }
+            self.handles.insert(name.to_owned(), Arc::new(served));
+            return Ok((self.handles[name].as_ref(), ArtifactSource::Loaded(path)));
+        }
+        let (mps, report) = MpsGenerator::new(circuit, config).generate_with_report()?;
+        let handle = self.install(name, mps)?;
+        Ok((handle, ArtifactSource::Generated(report)))
+    }
+
+    /// Loads the artifact for `name`, replacing any live handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsError::Serve`] (wrapping the persist-layer
+    /// rejection) when the artifact is missing, malformed, wrong-format
+    /// or invariant-violating, or when its compiled index diverges.
+    pub fn load(&mut self, name: &str) -> Result<&StructureHandle, MpsError> {
+        let served = ServedStructure::open(name, self.artifact_path(name))?;
+        self.handles.insert(name.to_owned(), Arc::new(served));
+        Ok(self.handles[name].as_ref())
+    }
+
+    /// Generates a structure for `name` under `config` (regardless of
+    /// any existing artifact), persists it, and compiles its handle.
+    ///
+    /// # Errors
+    ///
+    /// [`MpsError::Generate`] on invalid circuits, [`MpsError::Persist`]
+    /// when the artifact cannot be written, [`MpsError::Serve`] when the
+    /// compiled index diverges.
+    pub fn generate(
+        &mut self,
+        name: &str,
+        circuit: &Circuit,
+        config: GeneratorConfig,
+    ) -> Result<(&StructureHandle, GenerationReport), MpsError> {
+        let (mps, report) = MpsGenerator::new(circuit, config).generate_with_report()?;
+        let handle = self.install(name, mps)?;
+        Ok((handle, report))
+    }
+
+    /// Adopts an already-generated structure under `name`: persists it
+    /// and compiles its handle (the bridge for structures produced
+    /// outside the workspace).
+    ///
+    /// # Errors
+    ///
+    /// [`MpsError::Persist`] when the artifact cannot be written,
+    /// [`MpsError::Serve`] when the compiled index diverges.
+    pub fn adopt(
+        &mut self,
+        name: &str,
+        mps: MultiPlacementStructure,
+    ) -> Result<&StructureHandle, MpsError> {
+        self.install(name, mps)
+    }
+
+    /// Persists `mps` to the artifact path, compiles + cross-checks the
+    /// handle, and installs it.
+    fn install(
+        &mut self,
+        name: &str,
+        mps: MultiPlacementStructure,
+    ) -> Result<&StructureHandle, MpsError> {
+        mps.save_json(self.artifact_path(name))?;
+        let served = ServedStructure::try_from_structure(name, mps)?;
+        self.handles.insert(name.to_owned(), Arc::new(served));
+        Ok(self.handles[name].as_ref())
+    }
+
+    /// Re-persists the live handle for `name` (after an external edit of
+    /// the artifact directory, or to repair a deleted file).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownStructure`] for unknown names,
+    /// [`MpsError::Persist`] when the file cannot be written.
+    pub fn save(&self, name: &str) -> Result<PathBuf, MpsError> {
+        let handle = self.handle(name)?;
+        let path = self.artifact_path(name);
+        handle.structure().save_json(&path)?;
+        Ok(path)
+    }
+
+    /// Answers one typed query through the compiled plan — bit-identical
+    /// to the structure's own interpretive path (the handle cross-checked
+    /// that at construction).
+    ///
+    /// `Ok(None)` means the vector is in-arity but uncovered (or outside
+    /// the designer bounds) — exactly the structure's `query` semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownStructure`] for unknown names,
+    /// [`QueryError::BadArity`] on arity mismatch.
+    pub fn query(&self, name: &str, dims: &Dims) -> Result<Option<PlacementId>, MpsError> {
+        let handle = self.handle(name)?;
+        self.check_arity(handle, dims)?;
+        Ok(handle.index().query(dims))
+    }
+
+    /// Answers a whole stream through one compiled scratch buffer;
+    /// element `k` equals `self.query(name, &queries[k])`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownStructure`] for unknown names,
+    /// [`QueryError::BadArity`] on the first arity mismatch.
+    pub fn query_batch(
+        &self,
+        name: &str,
+        queries: &[Dims],
+    ) -> Result<Vec<Option<PlacementId>>, MpsError> {
+        let handle = self.handle(name)?;
+        for dims in queries {
+            self.check_arity(handle, dims)?;
+        }
+        Ok(handle.index().query_batch(queries))
+    }
+
+    /// Materializes the placement for `dims`, falling back to the backup
+    /// packing in uncovered space — the synthesis-loop entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownStructure`] for unknown names,
+    /// [`QueryError::BadArity`] on arity mismatch, and
+    /// [`QueryError::OutOfBounds`] when a pair escapes the designer
+    /// bounds (the fallback packing guarantees legality only inside
+    /// them) — the same refusals the `mps-serve` protocol makes.
+    pub fn instantiate(&self, name: &str, dims: &Dims) -> Result<Placement, MpsError> {
+        let handle = self.handle(name)?;
+        self.check_arity(handle, dims)?;
+        for (block, (&pair, b)) in dims.iter().zip(handle.structure().bounds()).enumerate() {
+            if !b.w.contains(pair.0) || !b.h.contains(pair.1) {
+                return Err(QueryError::OutOfBounds {
+                    structure: name.into(),
+                    block,
+                    dims: pair,
+                }
+                .into());
+            }
+        }
+        // One compiled lookup decides both id and placement; only
+        // uncovered space falls through to the structure's fallback path
+        // (the same dispatch the server performs).
+        let placement = match handle
+            .index()
+            .query(dims)
+            .and_then(|id| handle.structure().entry(id))
+        {
+            Some(entry) => entry.placement.clone(),
+            None => handle.structure().instantiate_or_fallback(dims),
+        };
+        Ok(placement)
+    }
+
+    /// Opens the workspace directory as a hot-swappable serving
+    /// registry: every persisted artifact is re-validated, compiled and
+    /// cross-checked, ready to put behind a [`mps_serve::Server`].
+    ///
+    /// # Errors
+    ///
+    /// [`MpsError::Serve`] when the scan or any artifact load fails.
+    pub fn serve_registry(&self) -> Result<StructureRegistry, MpsError> {
+        Ok(StructureRegistry::open(&self.dir)?)
+    }
+
+    fn check_arity(&self, handle: &ServedStructure, dims: &Dims) -> Result<(), MpsError> {
+        let expected = handle.structure().block_count();
+        if dims.arity() != expected {
+            return Err(QueryError::BadArity {
+                structure: handle.name().to_owned(),
+                expected,
+                got: dims.arity(),
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    fn unknown(&self, name: &str) -> MpsError {
+        QueryError::UnknownStructure {
+            name: name.to_owned(),
+            available: self.names(),
+        }
+        .into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_core::GeneratorConfig;
+    use mps_netlist::benchmarks;
+
+    fn temp_ws(tag: &str) -> Workspace {
+        let dir = std::env::temp_dir().join(format!("mps_api_ws_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Workspace::open(dir).unwrap()
+    }
+
+    fn quick_config(seed: u64) -> GeneratorConfig {
+        GeneratorConfig::builder()
+            .outer_iterations(30)
+            .inner_iterations(30)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn generate_then_load_roundtrip() {
+        let mut ws = temp_ws("roundtrip");
+        let circuit = benchmarks::circ01();
+        let (_, source) = ws
+            .generate_or_load("circ01", &circuit, quick_config(1))
+            .unwrap();
+        assert!(matches!(source, ArtifactSource::Generated(_)));
+        assert!(ws.artifact_path("circ01").is_file(), "generation persists");
+
+        // A second resolution loads instead of regenerating.
+        let mut ws2 = Workspace::open(ws.dir()).unwrap();
+        let (_, source) = ws2
+            .generate_or_load("circ01", &circuit, quick_config(999))
+            .unwrap();
+        assert!(matches!(source, ArtifactSource::Loaded(_)));
+        assert_eq!(ws2.names(), vec!["circ01"]);
+
+        // Both sessions answer identically.
+        let dims = circuit.min_dims();
+        assert_eq!(
+            ws.query("circ01", &dims).unwrap(),
+            ws2.query("circ01", &dims).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(ws.dir());
+    }
+
+    #[test]
+    fn typed_refusals() {
+        let mut ws = temp_ws("refusals");
+        let circuit = benchmarks::circ01();
+        ws.generate_or_load("circ01", &circuit, quick_config(2))
+            .unwrap();
+
+        let err = ws.query("nope", &circuit.min_dims()).unwrap_err();
+        assert!(matches!(
+            err,
+            MpsError::Query(QueryError::UnknownStructure { .. })
+        ));
+
+        let err = ws.query("circ01", &mps_geom::dims![(10, 10)]).unwrap_err();
+        assert!(matches!(err, MpsError::Query(QueryError::BadArity { .. })));
+
+        let mut out = circuit.min_dims().into_vec();
+        out[0].0 = 1_000_000;
+        let err = ws
+            .instantiate("circ01", &Dims::from_vec_unchecked(out))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MpsError::Query(QueryError::OutOfBounds { .. })
+        ));
+        let _ = std::fs::remove_dir_all(ws.dir());
+    }
+
+    #[test]
+    fn circuit_mismatch_is_detected() {
+        let mut ws = temp_ws("mismatch");
+        let circuit = benchmarks::circ01();
+        ws.generate_or_load("shared", &circuit, quick_config(3))
+            .unwrap();
+        let other = benchmarks::circ02();
+        let err = ws
+            .generate_or_load("shared", &other, quick_config(3))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MpsError::Query(QueryError::CircuitMismatch { .. })
+        ));
+        // The rejected artifact must not have replaced the live handle:
+        // the original circ01 structure keeps answering.
+        assert_eq!(
+            ws.handle("shared").unwrap().structure().bounds(),
+            circuit.dim_bounds()
+        );
+        assert!(ws.query("shared", &circuit.min_dims()).is_ok());
+        let _ = std::fs::remove_dir_all(ws.dir());
+    }
+
+    #[test]
+    fn serve_registry_spans_the_workspace() {
+        let mut ws = temp_ws("registry");
+        let c1 = benchmarks::circ01();
+        let c2 = benchmarks::circ02();
+        ws.generate_or_load("circ01", &c1, quick_config(4)).unwrap();
+        ws.generate_or_load("circ02", &c2, quick_config(5)).unwrap();
+        let registry = ws.serve_registry().unwrap();
+        assert_eq!(registry.names(), vec!["circ01", "circ02"]);
+        // Registry answers match workspace answers (both compiled).
+        let dims = c2.min_dims();
+        assert_eq!(
+            registry.get("circ02").unwrap().index().query(&dims),
+            ws.query("circ02", &dims).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(ws.dir());
+    }
+
+    #[test]
+    fn save_repairs_a_deleted_artifact() {
+        let mut ws = temp_ws("save");
+        let circuit = benchmarks::circ01();
+        ws.generate_or_load("circ01", &circuit, quick_config(6))
+            .unwrap();
+        std::fs::remove_file(ws.artifact_path("circ01")).unwrap();
+        let path = ws.save("circ01").unwrap();
+        assert!(path.is_file());
+        let _ = std::fs::remove_dir_all(ws.dir());
+    }
+}

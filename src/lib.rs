@@ -2,11 +2,15 @@
 //!
 //! Umbrella crate for the reproduction of *"Multi-Placement Structures for
 //! Fast and Optimized Placement in Analog Circuit Synthesis"* (Badaoui &
-//! Vemuri, DATE 2005). It re-exports the public API of every workspace crate
-//! so downstream users depend on a single crate:
+//! Vemuri, DATE 2005). It hosts the user-facing facade ([`api`]) and
+//! re-exports the public API of every workspace crate:
 //!
+//! * [`api`] — **start here**: the [`Workspace`](api::Workspace) session
+//!   object spanning generate → persist → compile → serve, the one
+//!   [`MpsError`](api::MpsError) every facade call returns, and the typed
+//!   [`Dims`] dimension vectors the whole query surface speaks.
 //! * [`geom`] — integer geometry: intervals, rectangles, interval-row maps,
-//!   dimension-space boxes.
+//!   dimension-space boxes, typed dimension vectors.
 //! * [`netlist`] — circuits, blocks, nets, module generators, and the nine
 //!   Table-1 benchmark circuits.
 //! * [`anneal`] — the generic simulated-annealing engine used by both levels
@@ -22,27 +26,53 @@
 //!
 //! # Quickstart
 //!
-//! ```
-//! use analog_mps::netlist::benchmarks;
-//! use analog_mps::mps::{GeneratorConfig, MpsGenerator};
+//! The [`api::Workspace`] owns the paper's *generate once, query many*
+//! lifecycle: the first run generates and persists; every later run loads
+//! the artifact and answers through the compiled query plan.
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // One-time generation for a topology (tiny budget to keep doctests fast).
+//! ```
+//! use analog_mps::api::Workspace;
+//! use analog_mps::mps::GeneratorConfig;
+//! use analog_mps::netlist::benchmarks;
+//!
+//! # fn main() -> Result<(), analog_mps::api::MpsError> {
+//! let dir = std::env::temp_dir().join(format!("mps_quickstart_{}", std::process::id()));
+//! let mut ws = Workspace::open(&dir)?;
+//!
+//! // Resolve a structure by name: load the artifact if present,
+//! // generate (tiny budget to keep doctests fast) and persist otherwise.
 //! let circuit = benchmarks::circ01();
 //! let config = GeneratorConfig::builder()
 //!     .outer_iterations(40)
 //!     .inner_iterations(30)
 //!     .seed(7)
 //!     .build();
-//! let structure = MpsGenerator::new(&circuit, config).generate()?;
+//! ws.generate_or_load("circ01", &circuit, config)?;
 //!
-//! // Iterative use in a synthesis loop: sizes in, floorplan out.
-//! let dims = circuit.clamp_dims(&circuit.min_dims());
-//! let placement = structure.instantiate_or_fallback(&dims);
-//! assert!(placement.is_legal(&dims, None));
+//! // Iterative use in a synthesis loop: typed sizes in, floorplan out,
+//! // answered by the compiled query plan in microseconds.
+//! let sizing = circuit.min_dims();
+//! let placement = ws.instantiate("circ01", &sizing)?;
+//! assert!(placement.is_legal(&sizing, None));
+//!
+//! // The same directory serves heavy traffic behind `mps-serve`:
+//! let registry = ws.serve_registry()?;
+//! assert_eq!(registry.names(), vec!["circ01"]);
+//! # std::fs::remove_dir_all(&dir).ok();
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Typed dimension vectors are built with [`Dims::new`], the
+//! [`dims!`] macro, or circuit helpers (`circuit.min_dims()`,
+//! `circuit.clamp_dims(..)`); they deref to `[(Coord, Coord)]`, so
+//! packing, legality and cost APIs keep working on them unchanged.
+//!
+//! # Migrating from the raw (PR ≤ 3) APIs
+//!
+//! See the [`api`] module docs for the old → new migration table. The
+//! raw-slice entry points survive one release as `#[deprecated]`
+//! `*_pairs` shims with bit-identical answers.
 
 #![forbid(unsafe_code)]
 
@@ -52,3 +82,9 @@ pub use mps_geom as geom;
 pub use mps_netlist as netlist;
 pub use mps_placer as placer;
 pub use mps_serve as serve;
+
+#[cfg(feature = "serde")]
+pub mod api;
+
+// The facade's working vocabulary, promoted to the crate root.
+pub use mps_geom::{dims, Coord, Dims, DimsError};

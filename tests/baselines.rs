@@ -1,7 +1,6 @@
 //! Cross-method integration: the three placement-method classes the paper
 //! positions itself between behave as §1 describes.
 
-use analog_mps::geom::Coord;
 use analog_mps::mps::{GeneratorConfig, MpsGenerator};
 use analog_mps::netlist::benchmarks;
 use analog_mps::placer::{CostCalculator, SaPlacer, SaPlacerConfig, Template};
@@ -9,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
-fn random_dims(circuit: &analog_mps::netlist::Circuit, rng: &mut StdRng) -> Vec<(Coord, Coord)> {
+fn random_dims(circuit: &analog_mps::netlist::Circuit, rng: &mut StdRng) -> analog_mps::Dims {
     circuit
         .dim_bounds()
         .iter()
@@ -46,8 +45,7 @@ fn instantiation_is_orders_of_magnitude_faster_than_flat_sa() {
         },
     );
     let mut rng = StdRng::seed_from_u64(2);
-    let queries: Vec<Vec<(Coord, Coord)>> =
-        (0..20).map(|_| random_dims(&circuit, &mut rng)).collect();
+    let queries: Vec<analog_mps::Dims> = (0..20).map(|_| random_dims(&circuit, &mut rng)).collect();
 
     let t = Instant::now();
     for dims in &queries {

@@ -1,7 +1,6 @@
 //! End-to-end integration: generate → validate invariants → query →
 //! instantiate → synthesize, across several benchmark circuits.
 
-use analog_mps::geom::Coord;
 use analog_mps::mps::{GeneratorConfig, MpsGenerator, SynthesisLoop};
 use analog_mps::netlist::benchmarks;
 use analog_mps::placer::CostCalculator;
@@ -16,7 +15,7 @@ fn quick(outer: usize, inner: usize, seed: u64) -> GeneratorConfig {
         .build()
 }
 
-fn random_dims(circuit: &analog_mps::netlist::Circuit, rng: &mut StdRng) -> Vec<(Coord, Coord)> {
+fn random_dims(circuit: &analog_mps::netlist::Circuit, rng: &mut StdRng) -> analog_mps::Dims {
     circuit
         .dim_bounds()
         .iter()

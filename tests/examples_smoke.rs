@@ -48,3 +48,8 @@ fn serve_queries_runs() {
 fn synthesis_loop_runs() {
     run_example("synthesis_loop");
 }
+
+#[test]
+fn workspace_runs() {
+    run_example("workspace");
+}

@@ -156,7 +156,7 @@ proptest! {
 fn analog_mps_random_dims(
     circuit: &analog_mps::netlist::Circuit,
     rng: &mut StdRng,
-) -> Vec<(Coord, Coord)> {
+) -> analog_mps::Dims {
     use rand::Rng;
     circuit
         .dim_bounds()

@@ -9,7 +9,6 @@
 //! a typed `Err`, never a panic and never a quietly corrupt structure.
 #![cfg(feature = "serde")]
 
-use analog_mps::geom::Coord;
 use analog_mps::mps::{
     GeneratorConfig, MpsGenerator, MultiPlacementStructure, PersistError, PlacementId,
 };
@@ -31,7 +30,7 @@ fn fixture_structure() -> MultiPlacementStructure {
 }
 
 /// One fixed probe and its hard-coded expected answer.
-type Probe = (Vec<(Coord, Coord)>, Option<PlacementId>);
+type Probe = (analog_mps::Dims, Option<PlacementId>);
 
 /// A fixed probe battery over the fixture's dimension space. The expected
 /// answers are hard-coded: they may only change together with a format
@@ -40,7 +39,7 @@ fn fixed_probes() -> Vec<Probe> {
     let bm = benchmarks::by_name("circ02").unwrap();
     let min = bm.circuit.min_dims();
     let max = bm.circuit.max_dims();
-    let mid: Vec<(Coord, Coord)> = bm
+    let mid: analog_mps::Dims = bm
         .circuit
         .dim_bounds()
         .iter()

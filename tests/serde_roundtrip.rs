@@ -6,7 +6,6 @@
 //! feature is on by default, so this suite runs in a plain `cargo test`.
 #![cfg(feature = "serde")]
 
-use analog_mps::geom::Coord;
 use analog_mps::mps::{GeneratorConfig, MpsGenerator, MultiPlacementStructure};
 use analog_mps::netlist::benchmarks;
 use analog_mps::placer::SequencePair;
@@ -24,7 +23,7 @@ fn generated_structure() -> (&'static str, MultiPlacementStructure) {
     ("circ02", mps)
 }
 
-fn random_probe(circuit: &analog_mps::netlist::Circuit, rng: &mut StdRng) -> Vec<(Coord, Coord)> {
+fn random_probe(circuit: &analog_mps::netlist::Circuit, rng: &mut StdRng) -> analog_mps::Dims {
     circuit
         .dim_bounds()
         .iter()
