@@ -1,0 +1,781 @@
+//! Closed-loop load generator for `mps-serve`: N client threads drive
+//! the **real binary** over TCP with pipelined tagged requests, verify
+//! every answer against direct queries on the same artifacts, and write
+//! `out/BENCH_loadgen.json` — the serving-performance trajectory record
+//! CI extends on every push.
+//!
+//! ```sh
+//! cargo run --release -p mps-bench --bin loadgen -- out/structures \
+//!     [--server target/release/mps-serve] [--clients 1,4,16] \
+//!     [--requests N] [--pipeline D] [--hot FRAC] [--batch N] \
+//!     [--reload-interval-ms M] [--min-qps Q] [--require-cache-speedup S]
+//! ```
+//!
+//! Measured scenarios (each against a freshly spawned server on an
+//! ephemeral port, so counters are scenario-scoped and parallel CI jobs
+//! never collide):
+//!
+//! * `uniform` at every `--clients` level — per-concurrency scaling on
+//!   uniformly random in-bounds queries;
+//! * `hotspot` at the highest level — 90% of probes cycle a 16-vector
+//!   hot set, half `query` / half `instantiate` (the synthesis-loop
+//!   pattern the answer cache targets; instantiate is where a hit saves
+//!   microseconds of pool dispatch + coordinate rendering) — and
+//!   `hotspot_uncached`, the same stream against a server started with
+//!   `--cache-entries 0`: the cached/uncached comparison the
+//!   `--require-cache-speedup` gate judges;
+//! * `churn` at the highest level — the hotspot stream while a writer
+//!   connection hot-reloads the registry every few milliseconds
+//!   (adversarial: every reload invalidates the cache all-or-nothing);
+//! * `batch_hotspot` — 64-vector batch requests over the hot sets,
+//!   exercising the per-element batch cache path (recorded, not gated:
+//!   batch lines are JSON-bound on the wire).
+//!
+//! Every response is matched by its `req` tag and diffed against the
+//! reference answer; any divergence or refusal fails the run. `--min-qps`
+//! fails the run when the highest-concurrency uniform scenario is slower.
+
+use mps_bench::cli::arg_value;
+use mps_bench::{markdown_table, random_dims, write_artifact};
+use mps_core::MultiPlacementStructure;
+use mps_geom::Dims;
+use mps_netlist::benchmarks;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Map, Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("loadgen: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// What the reference path says a pool entry must answer.
+enum Expect {
+    Query(Option<u64>),
+    Batch(Vec<Option<u64>>),
+    Instantiate {
+        id: Option<u64>,
+        coords: Vec<(i64, i64)>,
+    },
+}
+
+/// One reusable request: everything after the `id` tag, plus the
+/// reference answer. Clients render `{"id":<k>,<suffix>` at send time so
+/// ids stay strictly increasing per connection.
+struct PoolEntry {
+    suffix: String,
+    expect: Expect,
+}
+
+fn dims_json(dims: &Dims) -> String {
+    let pairs: Vec<String> = dims.iter().map(|&(w, h)| format!("[{w},{h}]")).collect();
+    format!("[{}]", pairs.join(","))
+}
+
+fn query_entry(name: &str, mps: &MultiPlacementStructure, dims: &Dims) -> PoolEntry {
+    PoolEntry {
+        suffix: format!(
+            r#""kind":"query","structure":"{name}","dims":{}}}"#,
+            dims_json(dims)
+        ),
+        expect: Expect::Query(mps.query(dims).map(|id| u64::from(id.0))),
+    }
+}
+
+/// Mirrors the server's instantiate dispatch: one compiled/interpretive
+/// lookup decides both the id and the placement; uncovered space falls
+/// through to the deterministic fallback packing.
+fn instantiate_entry(name: &str, mps: &MultiPlacementStructure, dims: &Dims) -> PoolEntry {
+    let id = mps.query(dims);
+    let placement = match id.and_then(|id| mps.entry(id)) {
+        Some(entry) => entry.placement.clone(),
+        None => mps.instantiate_or_fallback(dims),
+    };
+    PoolEntry {
+        suffix: format!(
+            r#""kind":"instantiate","structure":"{name}","dims":{}}}"#,
+            dims_json(dims)
+        ),
+        expect: Expect::Instantiate {
+            id: id.map(|id| u64::from(id.0)),
+            coords: placement.coords().iter().map(|p| (p.x, p.y)).collect(),
+        },
+    }
+}
+
+fn batch_entry(name: &str, mps: &MultiPlacementStructure, batch: &[Dims]) -> PoolEntry {
+    let vectors: Vec<String> = batch.iter().map(dims_json).collect();
+    PoolEntry {
+        suffix: format!(
+            r#""kind":"batch_query","structure":"{name}","dims_list":[{}]}}"#,
+            vectors.join(",")
+        ),
+        expect: Expect::Batch(
+            mps.query_batch(batch)
+                .into_iter()
+                .map(|id| id.map(|id| u64::from(id.0)))
+                .collect(),
+        ),
+    }
+}
+
+/// A spawned `mps-serve --tcp 0` child, killed on drop. The stdin handle
+/// is held open so the server keeps serving TCP for the process's life.
+struct ServerProc {
+    child: Child,
+    addr: String,
+    _stdin: std::process::ChildStdin,
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_server(server_bin: &PathBuf, dir: &PathBuf, cache_entries: Option<usize>) -> ServerProc {
+    let mut cmd = Command::new(server_bin);
+    cmd.arg(dir).args(["--tcp", "0"]);
+    if let Some(entries) = cache_entries {
+        cmd.args(["--cache-entries", &entries.to_string()]);
+    }
+    let mut child = cmd
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("cannot start {}: {e}", server_bin.display())));
+    let stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    // The port-0 contract: the bound address is the first stdout line,
+    // announced before any serving.
+    let mut announce = String::new();
+    stdout
+        .read_line(&mut announce)
+        .unwrap_or_else(|e| fail(&format!("no announce line from the server: {e}")));
+    let value: Value = serde_json::parse(announce.trim())
+        .unwrap_or_else(|e| fail(&format!("unparsable announce line: {e}: {announce}")));
+    if value.get("kind").and_then(Value::as_str) != Some("listening") {
+        fail(&format!(
+            "first stdout line is not the announce: {announce}"
+        ));
+    }
+    let addr = value
+        .get("addr")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| fail("announce line carries no addr"))
+        .to_owned();
+    ServerProc {
+        child,
+        addr,
+        _stdin: stdin,
+    }
+}
+
+/// One `stats` request over a fresh connection.
+fn stats_snapshot(addr: &str) -> Value {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("stats connect: {e}")));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    writeln!(writer, r#"{{"kind":"stats"}}"#).expect("stats request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("stats response");
+    serde_json::parse(line.trim_end())
+        .unwrap_or_else(|e| fail(&format!("unparsable stats: {e}: {line}")))
+}
+
+struct ScenarioOutcome {
+    qps: f64,
+    p50: Duration,
+    p99: Duration,
+    p999: Duration,
+    requests: u64,
+    divergences: u64,
+    refusals: u64,
+    hit_rate: f64,
+    reloads: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Duration::from_nanos(sorted[idx])
+}
+
+/// Drives `clients` closed-loop client threads against `addr`, each
+/// sending `requests` pipelined tagged requests drawn round-robin from
+/// `pool`, and verifies every tagged response against its pool entry.
+/// With `reload_every`, a writer connection hot-reloads the registry on
+/// that interval for the whole scenario.
+fn run_scenario(
+    addr: &str,
+    clients: usize,
+    requests: usize,
+    pipeline: usize,
+    pool: &Arc<Vec<PoolEntry>>,
+    reload_every: Option<Duration>,
+) -> ScenarioOutcome {
+    let stop = Arc::new(AtomicBool::new(false));
+    let reloads = Arc::new(AtomicU64::new(0));
+    let reloader = reload_every.map(|interval| {
+        let addr = addr.to_owned();
+        let stop = Arc::clone(&stop);
+        let reloads = Arc::clone(&reloads);
+        std::thread::spawn(move || {
+            let stream =
+                TcpStream::connect(&*addr).unwrap_or_else(|e| fail(&format!("reloader: {e}")));
+            let _ = stream.set_nodelay(true);
+            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            let mut writer = stream;
+            while !stop.load(Ordering::Relaxed) {
+                writeln!(writer, r#"{{"kind":"reload"}}"#).expect("reload request");
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("reload response");
+                let value: Value = serde_json::parse(line.trim_end())
+                    .unwrap_or_else(|e| fail(&format!("unparsable reload response: {e}")));
+                if value.get("ok").and_then(Value::as_bool) != Some(true) {
+                    fail(&format!("reload refused mid-traffic: {line}"));
+                }
+                reloads.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(interval);
+            }
+        })
+    });
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..clients {
+        let addr = addr.to_owned();
+        let pool = Arc::clone(pool);
+        handles.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(&*addr)
+                .unwrap_or_else(|e| fail(&format!("client {client}: {e}")));
+            let _ = stream.set_nodelay(true);
+            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            let mut writer = stream;
+            let mut latencies = Vec::with_capacity(requests);
+            let mut divergences = 0u64;
+            let mut refusals = 0u64;
+            // id → (pool index, send instant); ids are the request
+            // sequence numbers, strictly increasing per connection.
+            let mut in_flight: Vec<Option<(usize, Instant)>> = vec![None; requests];
+            let mut outstanding = 0usize;
+            let mut read_one = |in_flight: &mut Vec<Option<(usize, Instant)>>,
+                                latencies: &mut Vec<u64>,
+                                divergences: &mut u64,
+                                refusals: &mut u64| {
+                let mut line = String::new();
+                reader
+                    .read_line(&mut line)
+                    .unwrap_or_else(|e| fail(&format!("client {client} read: {e}")));
+                let value: Value = serde_json::parse(line.trim_end())
+                    .unwrap_or_else(|e| fail(&format!("client {client}: bad JSON: {e}")));
+                let req = value
+                    .get("req")
+                    .and_then(Value::as_u64)
+                    .unwrap_or_else(|| fail(&format!("untagged response: {line}")))
+                    as usize;
+                let (pool_idx, sent_at) = in_flight[req]
+                    .take()
+                    .unwrap_or_else(|| fail(&format!("response for unknown id {req}")));
+                latencies.push(u64::try_from(sent_at.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                if value.get("ok").and_then(Value::as_bool) != Some(true) {
+                    *refusals += 1;
+                    eprintln!("loadgen: client {client} refused: {line}");
+                    return;
+                }
+                let matches =
+                    match &pool[pool_idx].expect {
+                        Expect::Query(want) => value.get("id").and_then(Value::as_u64) == *want,
+                        Expect::Batch(want) => value
+                            .get("ids")
+                            .and_then(Value::as_array)
+                            .is_some_and(|ids| {
+                                ids.len() == want.len()
+                                    && ids.iter().zip(want).all(|(got, w)| got.as_u64() == *w)
+                            }),
+                        Expect::Instantiate { id, coords } => {
+                            value.get("id").and_then(Value::as_u64) == *id
+                                && value.get("coords").and_then(Value::as_array).is_some_and(
+                                    |got| {
+                                        got.len() == coords.len()
+                                            && got.iter().zip(coords).all(|(p, &(x, y))| {
+                                                p.as_array().is_some_and(|xy| {
+                                                    xy.len() == 2
+                                                        && xy[0].as_i64() == Some(x)
+                                                        && xy[1].as_i64() == Some(y)
+                                                })
+                                            })
+                                    },
+                                )
+                        }
+                    };
+                if !matches {
+                    *divergences += 1;
+                    eprintln!("loadgen: client {client} answer diverges: {line}");
+                }
+            };
+            for k in 0..requests {
+                let pool_idx = (client * 7919 + k) % pool.len();
+                let line = format!("{{\"id\":{k},{}", pool[pool_idx].suffix);
+                in_flight[k] = Some((pool_idx, Instant::now()));
+                writeln!(writer, "{line}")
+                    .unwrap_or_else(|e| fail(&format!("client {client} write: {e}")));
+                outstanding += 1;
+                if outstanding == pipeline.max(1) {
+                    read_one(
+                        &mut in_flight,
+                        &mut latencies,
+                        &mut divergences,
+                        &mut refusals,
+                    );
+                    outstanding -= 1;
+                }
+            }
+            while outstanding > 0 {
+                read_one(
+                    &mut in_flight,
+                    &mut latencies,
+                    &mut divergences,
+                    &mut refusals,
+                );
+                outstanding -= 1;
+            }
+            (latencies, divergences, refusals)
+        }));
+    }
+    let mut latencies = Vec::with_capacity(clients * requests);
+    let mut divergences = 0u64;
+    let mut refusals = 0u64;
+    for handle in handles {
+        let (lat, div, refused) = handle.join().expect("client thread");
+        latencies.extend(lat);
+        divergences += div;
+        refusals += refused;
+    }
+    let wall = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = reloader {
+        handle.join().expect("reloader thread");
+    }
+    let stats = stats_snapshot(addr);
+    let hit_rate = stats
+        .get("cache")
+        .and_then(|c| c.get("hit_rate"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    latencies.sort_unstable();
+    let total = (clients * requests) as u64;
+    ScenarioOutcome {
+        qps: total as f64 / wall.as_secs_f64(),
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        p999: percentile(&latencies, 0.999),
+        requests: total,
+        divergences,
+        refusals,
+        hit_rate,
+        reloads: reloads.load(Ordering::Relaxed),
+    }
+}
+
+fn outcome_value(mix: &str, clients: usize, o: &ScenarioOutcome) -> Value {
+    let mut m = Map::new();
+    m.insert("mix", Value::String(mix.to_owned()));
+    m.insert("clients", clients.to_value());
+    m.insert("requests", o.requests.to_value());
+    m.insert("qps", o.qps.round().to_value());
+    m.insert(
+        "p50_ns",
+        u64::try_from(o.p50.as_nanos())
+            .unwrap_or(u64::MAX)
+            .to_value(),
+    );
+    m.insert(
+        "p99_ns",
+        u64::try_from(o.p99.as_nanos())
+            .unwrap_or(u64::MAX)
+            .to_value(),
+    );
+    m.insert(
+        "p999_ns",
+        u64::try_from(o.p999.as_nanos())
+            .unwrap_or(u64::MAX)
+            .to_value(),
+    );
+    m.insert("cache_hit_rate", o.hit_rate.to_value());
+    m.insert("reloads", o.reloads.to_value());
+    m.insert("divergences", o.divergences.to_value());
+    m.insert("refusals", o.refusals.to_value());
+    Value::Object(m)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "usage: loadgen <ARTIFACT_DIR> [--server PATH] [--clients 1,4,16] \
+                 [--requests N] [--pipeline D] [--hot FRAC] [--batch N] \
+                 [--reload-interval-ms M] [--min-qps Q] [--require-cache-speedup S]"
+            );
+            std::process::exit(2);
+        });
+    let server_bin: PathBuf =
+        arg_value("server").unwrap_or_else(|| PathBuf::from("target/release/mps-serve"));
+    let clients_arg: String = arg_value("clients").unwrap_or_else(|| "1,4,16".to_owned());
+    let mut client_levels: Vec<usize> = clients_arg
+        .split(',')
+        .map(|c| {
+            c.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid --clients element {c:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    client_levels.sort_unstable();
+    client_levels.dedup();
+    let max_clients = *client_levels.last().unwrap_or(&1);
+    let requests: usize = arg_value("requests").unwrap_or(400);
+    let pipeline: usize = arg_value("pipeline").unwrap_or(4);
+    let hot_fraction: f64 = arg_value("hot").unwrap_or(0.9);
+    let batch_len: usize = arg_value("batch").unwrap_or(64);
+    let reload_ms: u64 = arg_value("reload-interval-ms").unwrap_or(10);
+    let min_qps: f64 = arg_value("min-qps").unwrap_or(0.0);
+    let require_cache_speedup: f64 = arg_value("require-cache-speedup").unwrap_or(0.0);
+
+    // --- Reference structures (the answers every response is diffed
+    //     against) and the request pools -------------------------------
+    let mut structures: Vec<(String, MultiPlacementStructure)> = Vec::new();
+    for entry in std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", dir.display())))
+    {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        let name = stem.strip_suffix(".mps").unwrap_or(stem).to_owned();
+        let mps = MultiPlacementStructure::load_json(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot load {}: {e}", path.display())));
+        structures.push((name, mps));
+    }
+    structures.sort_by(|a, b| a.0.cmp(&b.0));
+    if structures.is_empty() {
+        fail(&format!("no artifacts in {}", dir.display()));
+    }
+    eprintln!(
+        "loadgen: {} artifact(s): {}",
+        structures.len(),
+        structures
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let pool_len = 1024usize;
+    let mut rng = StdRng::seed_from_u64(0x10AD);
+    let uniform_dims = |rng: &mut StdRng, name: &str, mps: &MultiPlacementStructure| -> Dims {
+        match benchmarks::by_name(name) {
+            Some(bm) => random_dims(&bm.circuit, rng),
+            None => mps
+                .bounds()
+                .iter()
+                .map(|b| {
+                    (
+                        rng.random_range(b.w.lo()..=b.w.hi()),
+                        rng.random_range(b.h.lo()..=b.h.hi()),
+                    )
+                })
+                .collect(),
+        }
+    };
+    // Per-structure hot sets, covered vectors preferred (a synthesis
+    // loop hammers neighborhoods that exist).
+    let hot_sets: Vec<Vec<Dims>> = structures
+        .iter()
+        .map(|(name, mps)| {
+            let mut hot: Vec<Dims> = Vec::new();
+            for _ in 0..4096 {
+                if hot.len() >= 16 {
+                    break;
+                }
+                let dims = uniform_dims(&mut rng, name, mps);
+                if mps.query(&dims).is_some() {
+                    hot.push(dims);
+                }
+            }
+            while hot.len() < 16 {
+                hot.push(uniform_dims(&mut rng, name, mps));
+            }
+            hot
+        })
+        .collect();
+
+    let uniform_pool: Arc<Vec<PoolEntry>> = Arc::new(
+        (0..pool_len)
+            .map(|k| {
+                let (name, mps) = &structures[k % structures.len()];
+                let dims = uniform_dims(&mut rng, name, mps);
+                query_entry(name, mps, &dims)
+            })
+            .collect(),
+    );
+    // The hot-spot mix is half `query`, half `instantiate`: instantiate
+    // responses carry the full coordinate vector, which is where the
+    // answer cache saves real work (pool dispatch + clone + render).
+    let hotspot_pool: Arc<Vec<PoolEntry>> = Arc::new(
+        (0..pool_len)
+            .map(|k| {
+                let s = k % structures.len();
+                let (name, mps) = &structures[s];
+                let dims = if rng.random_range(0.0..1.0) < hot_fraction {
+                    hot_sets[s][rng.random_range(0..hot_sets[s].len())].clone()
+                } else {
+                    uniform_dims(&mut rng, name, mps)
+                };
+                if k % 2 == 0 {
+                    query_entry(name, mps, &dims)
+                } else {
+                    instantiate_entry(name, mps, &dims)
+                }
+            })
+            .collect(),
+    );
+    let batch_pool: Arc<Vec<PoolEntry>> = Arc::new(
+        (0..256)
+            .map(|k| {
+                let s = k % structures.len();
+                let (name, mps) = &structures[s];
+                let batch: Vec<Dims> = (0..batch_len)
+                    .map(|_| {
+                        if rng.random_range(0.0..1.0) < hot_fraction {
+                            hot_sets[s][rng.random_range(0..hot_sets[s].len())].clone()
+                        } else {
+                            uniform_dims(&mut rng, name, mps)
+                        }
+                    })
+                    .collect();
+                batch_entry(name, mps, &batch)
+            })
+            .collect(),
+    );
+
+    // --- Scenarios ----------------------------------------------------
+    let mut scenario_rows: Vec<Vec<String>> = Vec::new();
+    let mut scenario_values: Vec<Value> = Vec::new();
+    let mut scaling = Map::new();
+    let mut total_divergences = 0u64;
+    let mut total_refusals = 0u64;
+    let mut record = |mix: &str, clients: usize, o: &ScenarioOutcome| {
+        scenario_rows.push(vec![
+            mix.to_owned(),
+            clients.to_string(),
+            format!("{:.0}", o.qps),
+            format!("{:?}", o.p50),
+            format!("{:?}", o.p99),
+            format!("{:?}", o.p999),
+            format!("{:.1}%", 100.0 * o.hit_rate),
+            o.reloads.to_string(),
+        ]);
+        scenario_values.push(outcome_value(mix, clients, o));
+    };
+
+    let mut uniform_qps_at_max = 0.0;
+    for &clients in &client_levels {
+        let server = spawn_server(&server_bin, &dir, None);
+        eprintln!("loadgen: uniform x{clients} against {}", server.addr);
+        let o = run_scenario(
+            &server.addr,
+            clients,
+            requests,
+            pipeline,
+            &uniform_pool,
+            None,
+        );
+        total_divergences += o.divergences;
+        total_refusals += o.refusals;
+        if clients == max_clients {
+            uniform_qps_at_max = o.qps;
+        }
+        scaling.insert(clients.to_string(), o.qps.round().to_value());
+        record("uniform", clients, &o);
+    }
+
+    // The hotspot scenario doubles as the cached side of the
+    // cached/uncached comparison: same pool, same concurrency, the only
+    // difference is the server's `--cache-entries`.
+    let server = spawn_server(&server_bin, &dir, None);
+    eprintln!("loadgen: hotspot x{max_clients} against {}", server.addr);
+    let cached = run_scenario(
+        &server.addr,
+        max_clients,
+        requests,
+        pipeline,
+        &hotspot_pool,
+        None,
+    );
+    total_divergences += cached.divergences;
+    total_refusals += cached.refusals;
+    record("hotspot", max_clients, &cached);
+    drop(server);
+
+    let server = spawn_server(&server_bin, &dir, Some(0));
+    eprintln!("loadgen: hotspot (cache disabled) x{max_clients}");
+    let uncached = run_scenario(
+        &server.addr,
+        max_clients,
+        requests,
+        pipeline,
+        &hotspot_pool,
+        None,
+    );
+    total_divergences += uncached.divergences;
+    total_refusals += uncached.refusals;
+    record("hotspot_uncached", max_clients, &uncached);
+    drop(server);
+    let cache_speedup = cached.qps / uncached.qps.max(1e-9);
+
+    let server = spawn_server(&server_bin, &dir, None);
+    eprintln!(
+        "loadgen: churn x{max_clients} (reload every {reload_ms}ms) against {}",
+        server.addr
+    );
+    let o = run_scenario(
+        &server.addr,
+        max_clients,
+        requests,
+        pipeline,
+        &hotspot_pool,
+        Some(Duration::from_millis(reload_ms)),
+    );
+    if o.reloads == 0 {
+        fail("churn scenario finished without a single hot-reload");
+    }
+    total_divergences += o.divergences;
+    total_refusals += o.refusals;
+    record("churn", max_clients, &o);
+    drop(server);
+
+    // Batched hot-spot traffic: exercises the per-element batch cache
+    // path under concurrency (throughput here is JSON-bound — 64
+    // vectors per line — so it is recorded, not gated).
+    let batch_requests = requests.div_ceil(4).max(50);
+    let server = spawn_server(&server_bin, &dir, None);
+    eprintln!("loadgen: batch_hotspot x{max_clients}");
+    let o = run_scenario(
+        &server.addr,
+        max_clients,
+        batch_requests,
+        pipeline,
+        &batch_pool,
+        None,
+    );
+    total_divergences += o.divergences;
+    total_refusals += o.refusals;
+    record("batch_hotspot", max_clients, &o);
+    drop(server);
+
+    // --- Report -------------------------------------------------------
+    println!(
+        "\nServing load ({} structure(s), {requests} reqs/client, pipeline depth {pipeline})",
+        structures.len()
+    );
+    println!(
+        "{}",
+        markdown_table(
+            &["Mix", "Clients", "QPS", "p50", "p99", "p999", "Hit rate", "Reloads"],
+            &scenario_rows
+        )
+    );
+    println!(
+        "cached vs uncached hot-spot stream: {:.0} vs {:.0} req/s ({cache_speedup:.2}x)",
+        cached.qps, uncached.qps
+    );
+
+    let mut top = Map::new();
+    top.insert("bench", Value::String("loadgen".to_owned()));
+    top.insert("artifact_dir", Value::String(dir.display().to_string()));
+    top.insert(
+        "structures",
+        Value::Array(
+            structures
+                .iter()
+                .map(|(n, _)| Value::String(n.clone()))
+                .collect(),
+        ),
+    );
+    top.insert("requests_per_client", requests.to_value());
+    top.insert("pipeline_depth", pipeline.to_value());
+    top.insert("hot_fraction", hot_fraction.to_value());
+    top.insert("batch_len", batch_len.to_value());
+    top.insert("scenarios", Value::Array(scenario_values));
+    top.insert("uniform_qps_by_clients", Value::Object(scaling));
+    let mut comparison = Map::new();
+    comparison.insert("cached_qps", cached.qps.round().to_value());
+    comparison.insert("uncached_qps", uncached.qps.round().to_value());
+    comparison.insert(
+        "speedup",
+        ((cache_speedup * 100.0).round() / 100.0).to_value(),
+    );
+    comparison.insert("cached_hit_rate", cached.hit_rate.to_value());
+    top.insert("cache_comparison", Value::Object(comparison));
+    let mut gates = Map::new();
+    gates.insert("min_qps", min_qps.to_value());
+    gates.insert("measured_qps", uniform_qps_at_max.round().to_value());
+    gates.insert("require_cache_speedup", require_cache_speedup.to_value());
+    gates.insert(
+        "measured_cache_speedup",
+        ((cache_speedup * 100.0).round() / 100.0).to_value(),
+    );
+    top.insert("gates", Value::Object(gates));
+    let path = write_artifact(
+        "BENCH_loadgen.json",
+        &serde_json::to_string_pretty(&Value::Object(top)).expect("value trees serialize"),
+    );
+    eprintln!("wrote {}", path.display());
+
+    // --- Gates --------------------------------------------------------
+    if total_divergences > 0 || total_refusals > 0 {
+        fail(&format!(
+            "{total_divergences} divergence(s) and {total_refusals} refusal(s) across all \
+             scenarios — served answers must be bit-identical to the direct query path"
+        ));
+    }
+    if min_qps > 0.0 && uniform_qps_at_max < min_qps {
+        fail(&format!(
+            "uniform QPS at {max_clients} clients is {uniform_qps_at_max:.0}, \
+             below the required {min_qps:.0}"
+        ));
+    }
+    if require_cache_speedup > 0.0 && cache_speedup < require_cache_speedup {
+        fail(&format!(
+            "the cached hot-spot stream is only {cache_speedup:.2}x the uncached run, \
+             below the required {require_cache_speedup:.2}x"
+        ));
+    }
+    println!(
+        "loadgen: OK — {} scenario(s), 0 divergences, uniform@{max_clients} {:.0} QPS, \
+         cache speedup {cache_speedup:.2}x",
+        scenario_rows.len(),
+        uniform_qps_at_max
+    );
+}

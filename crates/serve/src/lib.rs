@@ -16,11 +16,20 @@
 //!   server answers for, loaded from a directory and hot-swapped behind
 //!   an `Arc`: readers take lock-free snapshots; a reload swaps the whole
 //!   set atomically while in-flight queries finish on the old one.
+//! * [`AnswerCache`] — a sharded LRU answer cache keyed by
+//!   `(structure, Dims)` in front of the compiled plans: hits replay the
+//!   exact stored answer (bit-identical by construction), a registry
+//!   hot-reload invalidates all-or-nothing, and hit/miss/eviction
+//!   counters surface through `stats`.
 //! * [`Server`] + the `mps-serve` binary — a line-delimited JSON protocol
-//!   (`query`, `batch_query`, `instantiate`, `stats`, `list_structures`)
-//!   over stdin/stdout and optional localhost TCP, with a [`WorkerPool`]
-//!   behind instantiation. Malformed input of any kind is answered with a
-//!   typed error line; the server never dies on input.
+//!   (`query`, `batch_query`, `instantiate`, `reload`, `stats`,
+//!   `list_structures`) over stdin/stdout and localhost TCP
+//!   (thread-per-connection), with request ids + pipelining (many
+//!   requests in flight per connection, responses tagged and out of
+//!   order) and a [`WorkerPool`] behind instantiation and tagged
+//!   dispatch. Malformed input of any kind is answered with a typed
+//!   error line; the server never dies on input. The full wire contract
+//!   is specified in `crates/serve/PROTOCOL.md`.
 //!
 //! # Quickstart
 //!
@@ -34,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod compiled;
 mod pool;
 #[cfg(feature = "serde")]
@@ -43,13 +53,15 @@ mod registry;
 #[cfg(feature = "serde")]
 mod server;
 
+pub use cache::{AnswerCache, CacheClass, CacheLookup, CacheStats, MissToken};
 pub use compiled::{CompiledQueryIndex, QueryScratch};
 pub use pool::{PoolError, WorkerPool};
 #[cfg(feature = "serde")]
 pub use protocol::{
-    error_response, parse_request, ErrorKind, Request, RequestError, REQUEST_KINDS,
+    error_response, parse_envelope, parse_request, tagged_error_response, Envelope, EnvelopeError,
+    ErrorKind, Request, RequestError, REQUEST_KINDS,
 };
 #[cfg(feature = "serde")]
 pub use registry::{ReloadReport, ServeError, ServedStructure, StructureRegistry};
 #[cfg(feature = "serde")]
-pub use server::Server;
+pub use server::{Server, ServerConfig};

@@ -3,6 +3,7 @@
 //!
 //! ```sh
 //! mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N]
+//!           [--cache-entries N] [--cache-shards N]
 //! ```
 //!
 //! Loads every `*.mps.json` / `*.json` artifact in `ARTIFACT_DIR`
@@ -10,18 +11,34 @@
 //! query index against the structure's own query path), then answers one
 //! JSON request per stdin line with one JSON response per stdout line.
 //! With `--tcp PORT` the same protocol is additionally served on
-//! `127.0.0.1:PORT` (`PORT` 0 picks a free port; the chosen port is
-//! announced on stderr). Diagnostics go to stderr only — stdout carries
-//! nothing but response lines.
+//! `127.0.0.1:PORT`, thread-per-connection with pipelining (`PORT` 0
+//! picks a free ephemeral port). The bound address is announced **on
+//! stdout, before any serving**, as a protocol-shaped line —
+//!
+//! ```text
+//! {"ok":true,"kind":"listening","addr":"127.0.0.1:40123"}
+//! ```
+//!
+//! — so parallel CI jobs and test harnesses can always pass port 0 and
+//! read the real address instead of racing for a fixed port. Diagnostics
+//! go to stderr; stdout carries nothing but the announce line and
+//! response lines.
+//!
+//! `--cache-entries N` sizes the sharded LRU answer cache (default
+//! 4096; 0 disables it), `--cache-shards N` its shard count (default 8).
+//! See `crates/serve/PROTOCOL.md` for the full wire contract.
 
-use mps_serve::{Server, StructureRegistry};
-use std::io::BufReader;
+use mps_serve::{Server, ServerConfig, StructureRegistry};
+use std::io::Write;
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+const USAGE: &str = "usage: mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N] \
+                     [--cache-entries N] [--cache-shards N]";
+
 fn usage() -> ExitCode {
-    eprintln!("usage: mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -29,7 +46,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dir: Option<String> = None;
     let mut tcp_port: Option<u16> = None;
-    let mut workers: usize = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut config = ServerConfig::default();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -38,12 +55,20 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             "--workers" => match it.next().as_deref().map(str::parse) {
-                Some(Ok(n)) => workers = n,
+                Some(Ok(n)) => config.workers = n,
+                _ => return usage(),
+            },
+            "--cache-entries" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => config.cache_entries = n,
+                _ => return usage(),
+            },
+            "--cache-shards" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => config.cache_shards = n,
                 _ => return usage(),
             },
             "--help" | "-h" => {
                 // An explicit help request is a success, not an error.
-                println!("usage: mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ if dir.is_none() && !arg.starts_with("--") => dir = Some(arg),
@@ -66,10 +91,22 @@ fn main() -> ExitCode {
         registry.len(),
         registry.names().join(", ")
     );
-    let server = Arc::new(Server::new(Arc::clone(&registry), workers));
+    let cache_note = if config.cache_entries == 0 {
+        "answer cache disabled".to_owned()
+    } else {
+        format!(
+            "answer cache: {} entries over {} shard(s)",
+            config.cache_entries, config.cache_shards
+        )
+    };
+    eprintln!(
+        "mps-serve: {} worker(s), {cache_note}",
+        config.workers.max(1)
+    );
+    let server = Arc::new(Server::with_config(Arc::clone(&registry), config));
 
-    // Optional localhost TCP side: one thread per connection, all sharing
-    // the same registry snapshots and worker pool.
+    // Optional localhost TCP side: one pipelined thread per connection,
+    // all sharing the same registry snapshots, worker pool and cache.
     let tcp_thread = match tcp_port {
         Some(port) => {
             let listener = match TcpListener::bind(("127.0.0.1", port)) {
@@ -82,30 +119,20 @@ fn main() -> ExitCode {
             let local = listener
                 .local_addr()
                 .expect("bound listener has an address");
+            // The stdout announce line, flushed before any serving:
+            // with `--tcp 0` this is the only place the chosen port is
+            // machine-readable.
+            println!("{{\"ok\":true,\"kind\":\"listening\",\"addr\":\"{local}\"}}");
+            let _ = std::io::stdout().flush();
             eprintln!("mps-serve: tcp listening on {local}");
             let tcp_server = Arc::clone(&server);
-            Some(std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    let Ok(stream) = stream else { continue };
-                    let conn_server = Arc::clone(&tcp_server);
-                    std::thread::spawn(move || {
-                        let reader = match stream.try_clone() {
-                            Ok(read_half) => BufReader::new(read_half),
-                            Err(_) => return,
-                        };
-                        // Client disconnects surface as I/O errors; the
-                        // connection thread just ends.
-                        let _ = conn_server.serve(reader, stream);
-                    });
-                }
-            }))
+            Some(std::thread::spawn(move || tcp_server.serve_tcp(listener)))
         }
         None => None,
     };
 
     let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    if let Err(e) = server.serve(stdin.lock(), stdout.lock()) {
+    if let Err(e) = server.serve_pipelined(stdin.lock(), std::io::stdout()) {
         eprintln!("mps-serve: stdin stream failed: {e}");
         return ExitCode::FAILURE;
     }

@@ -51,8 +51,10 @@ impl WorkerPool {
         self.workers.len()
     }
 
-    /// Submits a fire-and-forget job.
-    fn execute(&self, job: impl FnOnce() + Send + 'static) {
+    /// Submits a fire-and-forget job (the pipelined server uses this
+    /// directly: the job itself writes its response and signals its
+    /// connection's drain counter).
+    pub(crate) fn execute(&self, job: impl FnOnce() + Send + 'static) {
         self.tx
             .as_ref()
             .expect("pool alive while not dropped")
@@ -143,7 +145,10 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
             guard.recv()
         };
         match job {
-            Ok(job) => job(),
+            // The last line of panic isolation: `run`/`map_in_order`
+            // catch inside their own jobs, but raw `execute` jobs (the
+            // pipelined server's) must not be able to kill a worker.
+            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
             Err(_) => break, // pool dropped
         }
     }

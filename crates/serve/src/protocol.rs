@@ -1,7 +1,7 @@
 //! The wire protocol: one JSON request per line in, one JSON response
 //! per line out.
 //!
-//! Requests are JSON objects with a `kind` member naming one of the five
+//! Requests are JSON objects with a `kind` member naming one of the
 //! request kinds (see [`REQUEST_KINDS`]); responses are JSON objects with
 //! an `ok` boolean. A failed request yields
 //! `{"ok":false,"error":{"kind":..,"message":..}}` with a typed error
@@ -12,15 +12,34 @@
 //! → {"kind":"query","structure":"circ02","dims":[[30,40],[25,25],...]}
 //! ← {"ok":true,"kind":"query","structure":"circ02","id":13}
 //! ```
+//!
+//! # Request ids and pipelining
+//!
+//! A request may carry an `id` member (a non-negative integer). The
+//! response to a tagged request echoes it as `req` — `id` is already
+//! taken by query answers — which lets a client keep many requests in
+//! flight on one connection and match responses out of order:
+//!
+//! ```text
+//! → {"id":7,"kind":"query","structure":"circ02","dims":[[30,40],...]}
+//! ← {"ok":true,"kind":"query","req":7,"structure":"circ02","id":13}
+//! ```
+//!
+//! Per connection, ids must be strictly increasing (the natural shape of
+//! a pipelining client, and O(1) for the server to enforce); once a
+//! connection has sent a tagged request, every later request must be
+//! tagged too. Violations are answered with a typed `bad_id` error. The
+//! full framing contract lives in `crates/serve/PROTOCOL.md`.
 
 use mps_geom::{Coord, Dims};
 use serde::{Map, Serialize, Value};
 
 /// Every request kind the server understands, as spelled on the wire.
-pub const REQUEST_KINDS: [&str; 5] = [
+pub const REQUEST_KINDS: [&str; 6] = [
     "query",
     "batch_query",
     "instantiate",
+    "reload",
     "stats",
     "list_structures",
 ];
@@ -51,6 +70,9 @@ pub enum Request {
         /// One `(w, h)` pair per block.
         dims: Dims,
     },
+    /// Rescan the registry's artifact directory and hot-swap the served
+    /// set; the answer cache is invalidated all-or-nothing on success.
+    Reload,
     /// Server and per-structure counters.
     Stats,
     /// Sorted names of every served structure.
@@ -77,6 +99,10 @@ pub enum ErrorKind {
     /// instantiation rejects this — the fallback packing guarantees
     /// legality only inside the bounds; queries answer `id: null`).
     OutOfBounds,
+    /// The request id violates the tagged-framing contract: not a
+    /// non-negative integer, not strictly increasing on its connection,
+    /// or missing after the connection went tagged.
+    BadId,
     /// A handler failed internally; the server keeps serving.
     Internal,
 }
@@ -92,6 +118,7 @@ impl ErrorKind {
             ErrorKind::UnknownStructure => "unknown_structure",
             ErrorKind::BadArity => "bad_arity",
             ErrorKind::OutOfBounds => "out_of_bounds",
+            ErrorKind::BadId => "bad_id",
             ErrorKind::Internal => "internal",
         }
     }
@@ -124,23 +151,83 @@ impl std::fmt::Display for RequestError {
     }
 }
 
+/// A parsed request line: the optional pipelining tag plus the request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The request id, when the line was tagged.
+    pub id: Option<u64>,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// A failed [`parse_envelope`]: the typed refusal plus the request id,
+/// when one could still be recovered from the line (so the error
+/// response can be tagged and a pipelining client can correlate it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvelopeError {
+    /// The request id, when the line carried a well-formed one.
+    pub id: Option<u64>,
+    /// The typed refusal.
+    pub error: RequestError,
+}
+
 /// Parses one request line. Schema errors come back typed; nothing here
 /// panics on any input (the underlying parser is depth-capped).
 ///
 /// # Errors
 ///
-/// Returns a [`RequestError`] of kind `parse`, `protocol` or
+/// Returns a [`RequestError`] of kind `parse`, `protocol`, `bad_id` or
 /// `unknown_kind` (structure-dependent validation — unknown names, arity,
 /// bounds — happens later, in the server, where the registry is known).
+/// Any request id is parsed and discarded; use [`parse_envelope`] where
+/// the tag matters.
 pub fn parse_request(line: &str) -> Result<Request, RequestError> {
-    let value =
-        serde_json::parse(line).map_err(|e| RequestError::new(ErrorKind::Parse, e.to_string()))?;
+    parse_envelope(line)
+        .map(|envelope| envelope.request)
+        .map_err(|e| e.error)
+}
+
+/// Parses one request line including its pipelining tag. The `id`
+/// member, when present, must be a non-negative integer; connection-level
+/// rules (strictly increasing, sticky tagged mode) are the server's job.
+///
+/// # Errors
+///
+/// Returns an [`EnvelopeError`] whose `error` is typed `parse`,
+/// `protocol`, `bad_id` or `unknown_kind`, and whose `id` is the
+/// request's tag when one was well-formed (schema errors on tagged lines
+/// stay correlatable).
+pub fn parse_envelope(line: &str) -> Result<Envelope, EnvelopeError> {
+    let untagged = |error| EnvelopeError { id: None, error };
+    let value = serde_json::parse(line)
+        .map_err(|e| untagged(RequestError::new(ErrorKind::Parse, e.to_string())))?;
     let Some(obj) = value.as_object() else {
-        return Err(RequestError::new(
+        return Err(untagged(RequestError::new(
             ErrorKind::Protocol,
             format!("request must be a JSON object, found {}", value.kind()),
-        ));
+        )));
     };
+    let id = match obj.get("id") {
+        None => None,
+        Some(raw) => match raw.as_u64() {
+            Some(id) => Some(id),
+            None => {
+                return Err(untagged(RequestError::new(
+                    ErrorKind::BadId,
+                    format!("`id` must be a non-negative integer, found {}", raw.kind()),
+                )));
+            }
+        },
+    };
+    match parse_request_body(obj) {
+        Ok(request) => Ok(Envelope { id, request }),
+        Err(error) => Err(EnvelopeError { id, error }),
+    }
+}
+
+/// Decodes the request out of an already-parsed line object (the `id`
+/// member, if any, has been handled by the caller).
+fn parse_request_body(obj: &Map) -> Result<Request, RequestError> {
     let kind = obj
         .get("kind")
         .ok_or_else(|| RequestError::new(ErrorKind::Protocol, "missing `kind` member"))?;
@@ -180,6 +267,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             structure: required_string(obj, "structure")?,
             dims: dims_vector(obj.get("dims"), "dims")?,
         }),
+        "reload" => Ok(Request::Reload),
         "stats" => Ok(Request::Stats),
         "list_structures" => Ok(Request::ListStructures),
         other => Err(RequestError::new(
@@ -263,11 +351,21 @@ fn dims_vector(value: Option<&Value>, member: &str) -> Result<Dims, RequestError
 /// trailing newline).
 #[must_use]
 pub fn error_response(error: &RequestError) -> String {
+    tagged_error_response(None, error)
+}
+
+/// Renders a `{"ok":false,...}` response line, echoing the request id as
+/// `req` when the failed request carried an accepted one.
+#[must_use]
+pub fn tagged_error_response(id: Option<u64>, error: &RequestError) -> String {
     let mut inner = Map::new();
     inner.insert("kind", Value::String(error.kind.as_str().to_owned()));
     inner.insert("message", Value::String(error.message.clone()));
     let mut map = Map::new();
     map.insert("ok", Value::Bool(false));
+    if let Some(id) = id {
+        map.insert("req", id.to_value());
+    }
     map.insert("error", Value::Object(inner));
     render(map)
 }
@@ -337,9 +435,58 @@ mod tests {
             Request::Stats
         );
         assert_eq!(
+            parse_request(r#"{"kind":"reload"}"#).unwrap(),
+            Request::Reload
+        );
+        assert_eq!(
             parse_request(r#"{"kind":"list_structures"}"#).unwrap(),
             Request::ListStructures
         );
+    }
+
+    #[test]
+    fn envelopes_carry_request_ids() {
+        assert_eq!(
+            parse_envelope(r#"{"id":7,"kind":"stats"}"#).unwrap(),
+            Envelope {
+                id: Some(7),
+                request: Request::Stats,
+            }
+        );
+        assert_eq!(
+            parse_envelope(r#"{"kind":"stats"}"#).unwrap().id,
+            None,
+            "untagged lines stay untagged"
+        );
+        // A schema error on a tagged line keeps the tag, so the error
+        // response stays correlatable for a pipelining client.
+        let err = parse_envelope(r#"{"id":9,"kind":"query"}"#).unwrap_err();
+        assert_eq!(err.id, Some(9));
+        assert_eq!(err.error.kind, ErrorKind::Protocol);
+        // Ill-formed ids are bad_id, untagged (the tag is unusable).
+        for line in [
+            r#"{"id":"seven","kind":"stats"}"#,
+            r#"{"id":1.5,"kind":"stats"}"#,
+            r#"{"id":-3,"kind":"stats"}"#,
+            r#"{"id":null,"kind":"stats"}"#,
+            r#"{"id":true,"kind":"stats"}"#,
+            r#"{"id":[7],"kind":"stats"}"#,
+        ] {
+            let err = parse_envelope(line).unwrap_err();
+            assert_eq!(err.error.kind, ErrorKind::BadId, "{line}");
+            assert_eq!(err.id, None, "{line}");
+        }
+    }
+
+    #[test]
+    fn tagged_error_lines_echo_the_request_id() {
+        let line = tagged_error_response(
+            Some(42),
+            &RequestError::new(ErrorKind::UnknownStructure, "no such structure"),
+        );
+        let value = serde_json::parse(&line).unwrap();
+        assert_eq!(value.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(value.get("req").and_then(Value::as_u64), Some(42));
     }
 
     #[test]

@@ -293,6 +293,12 @@ impl StructureRegistry {
     /// Accepts both a bare [`ServedStructure`] and an
     /// `Arc<ServedStructure>` already shared elsewhere (e.g. a
     /// `Workspace` handle).
+    ///
+    /// Publishing *replaces* silently: if a `Server` with an answer
+    /// cache is already serving this registry, use
+    /// [`Server::reload`](crate::Server::reload) (or invalidate its
+    /// cache yourself) — the registry has no back-pointer to caches
+    /// over it.
     pub fn publish(&self, served: impl Into<Arc<ServedStructure>>) {
         let served = served.into();
         let mut guard = self.map.write().expect("registry lock poisoned");

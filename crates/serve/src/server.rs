@@ -1,55 +1,176 @@
 //! Request dispatch: the engine behind the `mps-serve` binary.
 //!
 //! [`Server::handle_line`] turns one protocol line into one response
-//! line; [`Server::serve`] pumps any `BufRead`/`Write` pair (stdin/stdout
-//! or one TCP connection) through it. The server never dies on input: a
-//! malformed line yields a typed error response, and a panicking handler
-//! is caught and answered as an `internal` error.
+//! line; [`Server::serve`] pumps any `BufRead`/`Write` pair through it
+//! sequentially; [`Server::serve_pipelined`] additionally runs tagged
+//! requests on the worker pool so one connection can keep many requests
+//! in flight (responses come back out of order, matched by their `req`
+//! tag); [`Server::serve_tcp`] accepts connections thread-per-connection,
+//! all sharing the same registry snapshots, worker pool and
+//! [`AnswerCache`]. The server never dies on input: a malformed line
+//! yields a typed error response, and a panicking handler is caught and
+//! answered as an `internal` error.
 
+use crate::cache::{AnswerCache, CacheClass, CacheLookup};
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    error_response, id_value, ok_header, parse_request, ErrorKind, Request, RequestError,
+    id_value, ok_header, parse_envelope, tagged_error_response, ErrorKind, Request, RequestError,
 };
 use crate::registry::{ServedStructure, StructureRegistry};
 use mps_core::PlacementId;
 use mps_geom::Dims;
+use mps_placer::Placement;
 use serde::{Map, Serialize, Value};
-use std::io::{BufRead, Write};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Batches at or above this many vectors fan out over the worker pool.
 const PARALLEL_BATCH_THRESHOLD: usize = 256;
 
+/// Construction knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker pool threads behind instantiation, large batches and
+    /// pipelined tagged requests (clamped to at least 1).
+    pub workers: usize,
+    /// Total answer-cache capacity in entries; 0 disables the cache.
+    pub cache_entries: usize,
+    /// Answer-cache shard count (clamped to `[1, cache_entries]`).
+    pub cache_shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, usize::from),
+            cache_entries: 4096,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// Per-connection protocol state: the tagged-framing contract.
+///
+/// A connection starts untagged; its first tagged request flips it into
+/// tagged (pipelined) mode for good. Ids must be strictly increasing,
+/// which makes duplicate detection O(1) and matches how a pipelining
+/// client naturally numbers its stream.
+#[derive(Debug, Default)]
+struct ConnState {
+    /// The highest accepted request id, once the connection went tagged.
+    last_id: Mutex<Option<u64>>,
+}
+
+/// What [`Server::admit`] decided about one input line.
+enum Admitted {
+    /// Blank line: ignored, no response.
+    Blank,
+    /// Refused at the framing layer; the rendered error response.
+    Reply(String),
+    /// Accepted; dispatch it (pooled when tagged, inline otherwise).
+    Run { id: Option<u64>, request: Request },
+}
+
+/// A successful dispatch: either a response object still to render, or
+/// a cached line replayed verbatim (byte-identical to the render that
+/// produced it).
+enum Outcome {
+    Map(Map),
+    Rendered(String),
+}
+
+/// In-flight counter for one pipelined connection, so EOF can drain
+/// every pooled response before the pump returns.
+#[derive(Debug, Default)]
+struct Pending {
+    count: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Pending {
+    fn begin(&self) {
+        *self.count.lock().expect("pending lock poisoned") += 1;
+    }
+
+    fn end(&self) {
+        let mut count = self.count.lock().expect("pending lock poisoned");
+        *count -= 1;
+        if *count == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn drain(&self) {
+        let mut count = self.count.lock().expect("pending lock poisoned");
+        while *count > 0 {
+            count = self.done.wait(count).expect("pending lock poisoned");
+        }
+    }
+}
+
+fn write_line<W: Write>(writer: &Mutex<W>, line: &str) -> std::io::Result<()> {
+    let mut writer = writer.lock().expect("response writer poisoned");
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
 /// The query-serving engine: a registry snapshot discipline on the read
-/// side, a worker pool on the instantiation side, and counters for the
-/// `stats` request.
+/// side, a sharded LRU [`AnswerCache`] in front of the compiled query
+/// plans, a worker pool on the instantiation/pipelining side, and
+/// counters for the `stats` request.
 #[derive(Debug)]
 pub struct Server {
     registry: Arc<StructureRegistry>,
     pool: WorkerPool,
+    cache: AnswerCache,
     started: Instant,
     requests: AtomicU64,
     errors: AtomicU64,
     queries: AtomicU64,
     instantiations: AtomicU64,
+    reloads: AtomicU64,
+    connections_total: AtomicU64,
+    connections_open: AtomicU64,
+    per_structure: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Server {
     /// Creates a server over `registry` with `workers` pool threads
-    /// (clamped to at least 1).
+    /// (clamped to at least 1) and the default cache configuration.
     #[must_use]
     pub fn new(registry: Arc<StructureRegistry>, workers: usize) -> Self {
+        Self::with_config(
+            registry,
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Creates a server over `registry` with explicit worker and
+    /// answer-cache knobs.
+    #[must_use]
+    pub fn with_config(registry: Arc<StructureRegistry>, config: ServerConfig) -> Self {
         Self {
             registry,
-            pool: WorkerPool::new(workers),
+            pool: WorkerPool::new(config.workers),
+            cache: AnswerCache::new(config.cache_entries, config.cache_shards),
             started: Instant::now(),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             instantiations: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            per_structure: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -59,44 +180,160 @@ impl Server {
         &self.registry
     }
 
-    /// Answers one protocol line. Returns `None` for blank lines (no
-    /// response is written for them); every non-blank line gets exactly
-    /// one response line, errors included.
+    /// The answer cache in front of the compiled query plans.
+    #[must_use]
+    pub fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
+    /// Hot-swaps the registry from its backing directory and invalidates
+    /// the answer cache all-or-nothing — the engine behind the `reload`
+    /// request. On error the old snapshot (and the cache over it) keeps
+    /// serving untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns the registry's [`crate::ServeError`] when the rescan or
+    /// any artifact load fails.
+    pub fn reload(&self) -> Result<crate::registry::ReloadReport, crate::ServeError> {
+        let report = self.registry.reload()?;
+        // Invalidate *after* the swap: any answer computed against the
+        // old snapshot either lands before this clear (and is cleared)
+        // or fails the generation check and is dropped.
+        self.cache.invalidate_all();
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Answers one protocol line with no connection context (each call
+    /// is its own one-request connection). Returns `None` for blank
+    /// lines (no response is written for them); every non-blank line
+    /// gets exactly one response line, errors included.
     #[must_use]
     pub fn handle_line(&self, line: &str) -> Option<String> {
+        let state = ConnState::default();
+        self.handle_line_on(&state, line, false)
+    }
+
+    /// Answers one line under a connection's framing state.
+    fn handle_line_on(
+        &self,
+        state: &ConnState,
+        line: &str,
+        on_pool_worker: bool,
+    ) -> Option<String> {
+        match self.admit(state, line) {
+            Admitted::Blank => None,
+            Admitted::Reply(response) => Some(response),
+            Admitted::Run { id, request } => Some(self.complete(id, request, on_pool_worker)),
+        }
+    }
+
+    /// Framing-layer admission: parses the line, enforces the
+    /// tagged-request contract (ids strictly increasing; once tagged,
+    /// always tagged), and counts the request.
+    fn admit(&self, state: &ConnState, line: &str) -> Admitted {
         let line = line.trim();
         if line.is_empty() {
-            return None;
+            return Admitted::Blank;
         }
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let result = parse_request(line).and_then(|request| {
-            // A handler bug must cost one error response, not the server.
-            catch_unwind(AssertUnwindSafe(|| self.dispatch(request))).unwrap_or_else(|_| {
+        let envelope = match parse_envelope(line) {
+            Ok(envelope) => envelope,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return Admitted::Reply(tagged_error_response(e.id, &e.error));
+            }
+        };
+        let mut last_id = state.last_id.lock().expect("connection state poisoned");
+        match envelope.id {
+            Some(id) => {
+                if let Some(prev) = *last_id {
+                    if id <= prev {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        let message = if id == prev {
+                            format!("duplicate request id {id} on this connection")
+                        } else {
+                            format!(
+                                "request id {id} is not strictly increasing \
+                                 (the last accepted id was {prev})"
+                            )
+                        };
+                        // Deliberately untagged: echoing the id would
+                        // collide with the response the earlier request
+                        // with this id already got (or will get).
+                        return Admitted::Reply(tagged_error_response(
+                            None,
+                            &RequestError::new(ErrorKind::BadId, message),
+                        ));
+                    }
+                }
+                *last_id = Some(id);
+            }
+            None => {
+                if last_id.is_some() {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    return Admitted::Reply(tagged_error_response(
+                        None,
+                        &RequestError::new(
+                            ErrorKind::BadId,
+                            "missing `id`: this connection uses tagged requests, so every \
+                             later request must carry a strictly increasing id",
+                        ),
+                    ));
+                }
+            }
+        }
+        Admitted::Run {
+            id: envelope.id,
+            request: envelope.request,
+        }
+    }
+
+    /// Dispatches an admitted request and renders its response line,
+    /// echoing the request id as `req` on tagged requests.
+    fn complete(&self, id: Option<u64>, request: Request, on_pool_worker: bool) -> String {
+        // A handler bug must cost one error response, not the server.
+        let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(request, on_pool_worker)))
+            .unwrap_or_else(|_| {
                 Err(RequestError::new(
                     ErrorKind::Internal,
                     "request handler panicked; the server keeps serving",
                 ))
-            })
-        });
-        Some(match result {
-            Ok(map) => crate::protocol::render(map),
+            });
+        match result {
+            Ok(Outcome::Map(mut map)) => {
+                if let Some(id) = id {
+                    map.insert("req", id.to_value());
+                }
+                crate::protocol::render(map)
+            }
+            Ok(Outcome::Rendered(line)) => match id {
+                None => line,
+                // Splice the tag into the cached line: `{"req":N,` +
+                // everything after the opening brace. Member order is
+                // irrelevant in JSON; the payload bytes stay verbatim.
+                Some(id) => format!("{{\"req\":{id},{}", &line[1..]),
+            },
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
-                error_response(&e)
+                tagged_error_response(id, &e)
             }
-        })
+        }
     }
 
-    /// Pumps requests from `reader` to `writer` until EOF. Each response
+    /// Pumps requests from `reader` to `writer` sequentially until EOF:
+    /// responses come back in request order, tagged or not. Each response
     /// line is flushed immediately so pipelined clients never stall.
     ///
     /// # Errors
     ///
     /// Returns the first I/O error on either side.
     pub fn serve<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> std::io::Result<()> {
+        let state = ConnState::default();
         for line in reader.lines() {
             let line = line?;
-            if let Some(response) = self.handle_line(&line) {
+            if let Some(response) = self.handle_line_on(&state, &line, false) {
                 writer.write_all(response.as_bytes())?;
                 writer.write_all(b"\n")?;
                 writer.flush()?;
@@ -105,17 +342,165 @@ impl Server {
         Ok(())
     }
 
-    fn dispatch(&self, request: Request) -> Result<Map, RequestError> {
+    /// Pumps one connection with pipelining: the client may keep any
+    /// number of requests in flight. Cheap requests (queries, cached
+    /// instantiates, stats, ...) are answered inline on the connection
+    /// thread — cross-client parallelism comes from thread-per-connection
+    /// — while heavy requests (uncached instantiates, large batches) are
+    /// offloaded to the worker pool so they cannot head-of-line-block the
+    /// cheap stream behind them; their responses are written as they
+    /// finish, out of order, matched by `req`. EOF drains every in-flight
+    /// response before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error seen by the reading side; write
+    /// failures inside pooled responses end silently (the client hung
+    /// up — not a server error).
+    pub fn serve_pipelined<R, W>(self: &Arc<Self>, reader: R, writer: W) -> std::io::Result<()>
+    where
+        R: BufRead,
+        W: Write + Send + 'static,
+    {
+        let writer = Arc::new(Mutex::new(writer));
+        let state = Arc::new(ConnState::default());
+        let pending = Arc::new(Pending::default());
+        let mut result = Ok(());
+        for line in reader.lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
+            let outcome = match self.admit(&state, &line) {
+                Admitted::Blank => Ok(()),
+                Admitted::Reply(response) => write_line(&writer, &response),
+                Admitted::Run { id: None, request } => {
+                    let response = self.complete(None, request, false);
+                    write_line(&writer, &response)
+                }
+                Admitted::Run {
+                    id: Some(id),
+                    request,
+                } if !self.is_heavy(&request) => {
+                    let response = self.complete(Some(id), request, false);
+                    write_line(&writer, &response)
+                }
+                Admitted::Run {
+                    id: Some(id),
+                    request,
+                } => {
+                    pending.begin();
+                    let server = Arc::clone(self);
+                    let writer = Arc::clone(&writer);
+                    let pending = Arc::clone(&pending);
+                    // `on_pool_worker`: the job holds a pool worker, so
+                    // batch work inside it must not block on a second
+                    // pool slot (that could deadlock a fully loaded
+                    // pool).
+                    self.pool.execute(move || {
+                        // Decrement on every exit path — a panic in the
+                        // render or the write must not leave the EOF
+                        // drain waiting forever.
+                        struct EndOnDrop(Arc<Pending>);
+                        impl Drop for EndOnDrop {
+                            fn drop(&mut self) {
+                                self.0.end();
+                            }
+                        }
+                        let _guard = EndOnDrop(pending);
+                        let response = server.complete(Some(id), request, true);
+                        let _ = write_line(&writer, &response);
+                    });
+                    Ok(())
+                }
+            };
+            if let Err(e) = outcome {
+                result = Err(e);
+                break;
+            }
+        }
+        pending.drain();
+        result
+    }
+
+    /// Accepts TCP connections forever, one thread per connection, every
+    /// connection pumped through [`Server::serve_pipelined`] against the
+    /// shared registry, pool and cache.
+    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            // Response lines are small; Nagle + delayed ACK would add
+            // ~40ms stalls per exchange on a chatty protocol like this.
+            let _ = stream.set_nodelay(true);
+            let server = Arc::clone(self);
+            self.connections_total.fetch_add(1, Ordering::Relaxed);
+            std::thread::spawn(move || {
+                server.connections_open.fetch_add(1, Ordering::Relaxed);
+                if let Ok(read_half) = stream.try_clone() {
+                    // Client disconnects surface as I/O errors; the
+                    // connection thread just ends.
+                    let _ = server.serve_pipelined(BufReader::new(read_half), stream);
+                }
+                server.connections_open.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    }
+
+    /// Whether a request deserves a worker-pool slot instead of the
+    /// connection thread: only work that takes long enough to
+    /// head-of-line-block the pipelined stream behind it. A cached
+    /// instantiate replays stored bytes in well under a microsecond, so
+    /// it stays inline (the peek takes no lock promotion and counts no
+    /// hit; the authoritative lookup happens in dispatch).
+    fn is_heavy(&self, request: &Request) -> bool {
+        match request {
+            Request::Instantiate { structure, dims } => {
+                !self.cache.peek(CacheClass::Instantiate, structure, dims)
+            }
+            Request::BatchQuery { dims_list, .. } => dims_list.len() >= PARALLEL_BATCH_THRESHOLD,
+            _ => false,
+        }
+    }
+
+    fn dispatch(&self, request: Request, on_pool_worker: bool) -> Result<Outcome, RequestError> {
         match request {
             Request::Query { structure, dims } => {
+                // Cache first, registry snapshot second — the order
+                // matters: a miss token taken *before* the snapshot
+                // cannot outlive a reload (the generation check or the
+                // shard clear drops the insert). The reverse order
+                // could accept an answer computed from the pre-reload
+                // snapshot into the post-reload cache.
+                let token = match self.cache.lookup(CacheClass::Query, &structure, &dims) {
+                    // A hit replays the stored line verbatim, skipping
+                    // the registry lookup, the query *and* the response
+                    // render (only successful requests are ever cached,
+                    // so the stored line's checks all passed).
+                    CacheLookup::Hit(line) => {
+                        self.queries.fetch_add(1, Ordering::Relaxed);
+                        self.count_structure(&structure, 1);
+                        return Ok(Outcome::Rendered(line));
+                    }
+                    CacheLookup::Miss(token) => Some(token),
+                    CacheLookup::Disabled => None,
+                };
                 let served = self.lookup(&structure)?;
                 self.check_arity(&served, &dims)?;
                 self.queries.fetch_add(1, Ordering::Relaxed);
+                self.count_structure(&structure, 1);
                 let id = served.index().query(&dims);
                 let mut map = ok_header("query");
-                map.insert("structure", Value::String(structure));
+                map.insert("structure", Value::String(structure.clone()));
                 map.insert("id", id_value(id));
-                Ok(map)
+                let line = crate::protocol::render(map);
+                if let Some(token) = token {
+                    self.cache
+                        .insert(token, CacheClass::Query, &structure, &dims, &line);
+                }
+                Ok(Outcome::Rendered(line))
             }
             Request::BatchQuery {
                 structure,
@@ -127,39 +512,44 @@ impl Server {
                 }
                 self.queries
                     .fetch_add(dims_list.len() as u64, Ordering::Relaxed);
-                let ids = self.batch_ids(&served, dims_list)?;
+                self.count_structure(&structure, dims_list.len() as u64);
+                let ids = self.batch_ids(&served, dims_list, on_pool_worker)?;
                 let mut map = ok_header("batch_query");
                 map.insert("structure", Value::String(structure));
                 map.insert("ids", Value::Array(ids.into_iter().map(id_value).collect()));
-                Ok(map)
+                Ok(Outcome::Map(map))
             }
             Request::Instantiate { structure, dims } => {
+                // Cache before registry snapshot — same stale-insert
+                // race as the query arm (see the comment there).
+                let token = match self
+                    .cache
+                    .lookup(CacheClass::Instantiate, &structure, &dims)
+                {
+                    // The biggest cache win: a hit skips the registry
+                    // lookup, the bounds checks (they passed when the
+                    // line was stored), the placement clone *and* the
+                    // coordinate render — it replays the stored bytes.
+                    CacheLookup::Hit(line) => {
+                        self.instantiations.fetch_add(1, Ordering::Relaxed);
+                        self.count_structure(&structure, 1);
+                        return Ok(Outcome::Rendered(line));
+                    }
+                    CacheLookup::Miss(token) => Some(token),
+                    CacheLookup::Disabled => None,
+                };
                 let served = self.lookup(&structure)?;
                 self.check_arity(&served, &dims)?;
                 self.check_bounds(&served, &dims)?;
                 self.instantiations.fetch_add(1, Ordering::Relaxed);
-                // Instantiation clones coordinate vectors (or packs a
-                // fallback) — the expensive request kind, so it runs on
-                // the worker pool.
-                let worker_input = Arc::clone(&served);
-                let (id, placement) = self
-                    .pool
-                    .run(move || {
-                        // One compiled lookup decides both the id and the
-                        // placement; only uncovered space falls through to
-                        // the structure's fallback path.
-                        let id = worker_input.index().query(&dims);
-                        let placement = match id.and_then(|id| worker_input.structure().entry(id)) {
-                            Some(entry) => entry.placement.clone(),
-                            None => worker_input.structure().instantiate_or_fallback(&dims),
-                        };
-                        (id, placement)
-                    })
-                    .map_err(|_| {
-                        RequestError::new(ErrorKind::Internal, "instantiation worker panicked")
-                    })?;
+                self.count_structure(&structure, 1);
+                // Computed right here: a synchronous pool.run handoff
+                // would only add a thread wake per request (the pipelined
+                // pump already decides *before* dispatch whether this
+                // request deserves a pool slot).
+                let (id, placement) = materialize(&served, &dims);
                 let mut map = ok_header("instantiate");
-                map.insert("structure", Value::String(structure));
+                map.insert("structure", Value::String(structure.clone()));
                 map.insert("id", id_value(id));
                 map.insert("fallback", Value::Bool(id.is_none()));
                 map.insert(
@@ -172,9 +562,33 @@ impl Server {
                             .collect(),
                     ),
                 );
-                Ok(map)
+                let line = crate::protocol::render(map);
+                if let Some(token) = token {
+                    self.cache
+                        .insert(token, CacheClass::Instantiate, &structure, &dims, &line);
+                }
+                Ok(Outcome::Rendered(line))
             }
-            Request::Stats => Ok(self.stats()),
+            Request::Reload => {
+                let report = self.reload().map_err(|e| {
+                    RequestError::new(
+                        ErrorKind::Internal,
+                        format!("reload failed; the previous snapshot keeps serving: {e}"),
+                    )
+                })?;
+                let mut map = ok_header("reload");
+                map.insert("serving", report.serving.to_value());
+                map.insert(
+                    "added",
+                    Value::Array(report.added.into_iter().map(Value::String).collect()),
+                );
+                map.insert(
+                    "removed",
+                    Value::Array(report.removed.into_iter().map(Value::String).collect()),
+                );
+                Ok(Outcome::Map(map))
+            }
+            Request::Stats => Ok(Outcome::Map(self.stats())),
             Request::ListStructures => {
                 let mut map = ok_header("list_structures");
                 map.insert(
@@ -187,7 +601,7 @@ impl Server {
                             .collect(),
                     ),
                 );
-                Ok(map)
+                Ok(Outcome::Map(map))
             }
         }
     }
@@ -237,14 +651,38 @@ impl Server {
         Ok(())
     }
 
-    /// Answers a batch: sequentially through one scratch buffer for small
-    /// batches, fanned out in chunks over the worker pool for large ones.
+    /// Tallies answered work per structure name for the `stats` view.
+    /// Allocation-free after a name's first sighting (the lock is held
+    /// for a few instructions; at current request rates it is far off
+    /// the critical path, and a per-structure atomic would reset across
+    /// reload snapshots).
+    fn count_structure(&self, name: &str, n: u64) {
+        let mut map = self
+            .per_structure
+            .lock()
+            .expect("per-structure counter lock poisoned");
+        if let Some(count) = map.get_mut(name) {
+            *count += n;
+        } else {
+            map.insert(name.to_owned(), n);
+        }
+    }
+
+    /// Answers a batch: sequentially through one scratch buffer for
+    /// small batches, fanned out in chunks over the worker pool for
+    /// large ones (unless this thread *is* a pool worker, which must
+    /// never wait on a second pool slot). Batches bypass the answer
+    /// cache deliberately: the compiled index answers an element in
+    /// ~150ns, cheaper than any per-element cache lookup could be, and
+    /// batch lines are wire-bound anyway.
     fn batch_ids(
         &self,
         served: &Arc<ServedStructure>,
         dims_list: Vec<Dims>,
+        on_pool_worker: bool,
     ) -> Result<Vec<Option<PlacementId>>, RequestError> {
-        if dims_list.len() < PARALLEL_BATCH_THRESHOLD || self.pool.workers() == 1 {
+        if on_pool_worker || dims_list.len() < PARALLEL_BATCH_THRESHOLD || self.pool.workers() == 1
+        {
             return Ok(served.index().query_batch(&dims_list));
         }
         let chunk_len = dims_list.len().div_ceil(self.pool.workers() * 4);
@@ -261,6 +699,11 @@ impl Server {
 
     fn stats(&self) -> Map {
         let snapshot = self.registry.snapshot();
+        let per_structure = self
+            .per_structure
+            .lock()
+            .expect("per-structure counter lock poisoned")
+            .clone();
         let mut names: Vec<&String> = snapshot.keys().collect();
         names.sort_unstable();
         let structures: Vec<Value> = names
@@ -273,6 +716,10 @@ impl Server {
                 s.insert(
                     "placements",
                     served.structure().placement_count().to_value(),
+                );
+                s.insert(
+                    "queries",
+                    per_structure.get(name).copied().unwrap_or(0).to_value(),
                 );
                 s.insert(
                     "compiled_segments",
@@ -294,6 +741,36 @@ impl Server {
             "instantiations",
             self.instantiations.load(Ordering::Relaxed).to_value(),
         );
+        counters.insert("reloads", self.reloads.load(Ordering::Relaxed).to_value());
+        let c = self.cache.stats();
+        let mut cache = Map::new();
+        cache.insert("enabled", Value::Bool(self.cache.enabled()));
+        cache.insert("capacity", c.capacity.to_value());
+        cache.insert("shards", c.shards.to_value());
+        cache.insert("entries", c.entries.to_value());
+        cache.insert("hits", c.hits.to_value());
+        cache.insert("misses", c.misses.to_value());
+        cache.insert("evictions", c.evictions.to_value());
+        cache.insert("invalidations", c.invalidations.to_value());
+        let lookups = c.hits + c.misses;
+        cache.insert(
+            "hit_rate",
+            if lookups == 0 {
+                0.0f64.to_value()
+            } else {
+                // Two decimals of percentage is plenty for a counter view.
+                (((c.hits as f64 / lookups as f64) * 10_000.0).round() / 10_000.0).to_value()
+            },
+        );
+        let mut connections = Map::new();
+        connections.insert(
+            "total",
+            self.connections_total.load(Ordering::Relaxed).to_value(),
+        );
+        connections.insert(
+            "open",
+            self.connections_open.load(Ordering::Relaxed).to_value(),
+        );
         let mut map = ok_header("stats");
         map.insert(
             "uptime_ms",
@@ -303,9 +780,22 @@ impl Server {
         );
         map.insert("workers", self.pool.workers().to_value());
         map.insert("counters", Value::Object(counters));
+        map.insert("cache", Value::Object(cache));
+        map.insert("connections", Value::Object(connections));
         map.insert("structures", Value::Array(structures));
         map
     }
+}
+
+/// One compiled lookup decides both the id and the placement; only
+/// uncovered space falls through to the structure's fallback path.
+fn materialize(served: &ServedStructure, dims: &Dims) -> (Option<PlacementId>, Placement) {
+    let id = served.index().query(dims);
+    let placement = match id.and_then(|id| served.structure().entry(id)) {
+        Some(entry) => entry.placement.clone(),
+        None => served.structure().instantiate_or_fallback(dims),
+    };
+    (id, placement)
 }
 
 #[cfg(test)]
@@ -332,28 +822,119 @@ mod tests {
         serde_json::parse(line).expect("responses are valid JSON")
     }
 
-    #[test]
-    fn query_answers_match_direct_path() {
-        let server = test_server();
-        let served = server.registry().get("circ01").unwrap();
-        let dims: Dims = served
+    fn midpoint_dims(server: &Server) -> Dims {
+        server
+            .registry()
+            .get("circ01")
+            .unwrap()
             .structure()
             .bounds()
             .iter()
             .map(|b| (b.w.midpoint(), b.h.midpoint()))
-            .collect();
+            .collect()
+    }
+
+    fn query_line(dims: &Dims) -> String {
         let pairs: Vec<String> = dims.iter().map(|(w, h)| format!("[{w},{h}]")).collect();
-        let line = format!(
+        format!(
             r#"{{"kind":"query","structure":"circ01","dims":[{}]}}"#,
             pairs.join(",")
-        );
-        let response = parse(&server.handle_line(&line).unwrap());
+        )
+    }
+
+    #[test]
+    fn query_answers_match_direct_path() {
+        let server = test_server();
+        let served = server.registry().get("circ01").unwrap();
+        let dims = midpoint_dims(&server);
+        let response = parse(&server.handle_line(&query_line(&dims)).unwrap());
         assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
         let expected = served.structure().query(&dims);
         assert_eq!(
             response.get("id").and_then(Value::as_u64),
             expected.map(|id| u64::from(id.0))
         );
+    }
+
+    #[test]
+    fn cached_answers_stay_bit_identical_and_count_hits() {
+        let server = test_server();
+        let dims = midpoint_dims(&server);
+        let line = query_line(&dims);
+        let first = parse(&server.handle_line(&line).unwrap());
+        let second = parse(&server.handle_line(&line).unwrap());
+        assert_eq!(
+            first.get("id"),
+            second.get("id"),
+            "a cache hit must replay the stored answer"
+        );
+        let stats = parse(&server.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Value::as_u64), Some(1));
+        assert_eq!(cache.get("entries").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn reload_request_invalidates_the_cache() {
+        let server = test_server();
+        let dims = midpoint_dims(&server);
+        let _ = server.handle_line(&query_line(&dims)).unwrap();
+        let reload = parse(&server.handle_line(r#"{"kind":"reload"}"#).unwrap());
+        assert_eq!(reload.get("ok").and_then(Value::as_bool), Some(true));
+        // In-memory registry reloads to itself; the cache still empties.
+        assert_eq!(reload.get("serving").and_then(Value::as_u64), Some(1));
+        let stats = parse(&server.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("entries").and_then(Value::as_u64), Some(0));
+        assert_eq!(cache.get("invalidations").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            stats
+                .get("counters")
+                .and_then(|c| c.get("reloads"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn tagged_requests_echo_req_and_enforce_increasing_ids() {
+        let server = test_server();
+        let input = concat!(
+            "{\"id\":1,\"kind\":\"stats\"}\n",
+            "{\"id\":5,\"kind\":\"list_structures\"}\n",
+            "{\"id\":5,\"kind\":\"stats\"}\n", // duplicate
+            "{\"id\":3,\"kind\":\"stats\"}\n", // decreasing
+            "{\"kind\":\"stats\"}\n",          // missing id after tagged
+            "{\"id\":9,\"kind\":\"stats\"}\n", // recovers
+        )
+        .as_bytes()
+        .to_vec();
+        let mut output = Vec::new();
+        server.serve(&input[..], &mut output).unwrap();
+        let lines: Vec<Value> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(parse)
+            .collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0].get("req").and_then(Value::as_u64), Some(1));
+        assert_eq!(lines[1].get("req").and_then(Value::as_u64), Some(5));
+        for (i, expected) in [(2, "duplicate"), (3, "increasing"), (4, "missing `id`")] {
+            assert_eq!(lines[i].get("ok").and_then(Value::as_bool), Some(false));
+            let error = lines[i].get("error").unwrap();
+            assert_eq!(error.get("kind").and_then(Value::as_str), Some("bad_id"));
+            assert!(
+                error
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .is_some_and(|m| m.contains(expected)),
+                "line {i}: {:?}",
+                lines[i]
+            );
+        }
+        assert_eq!(lines[5].get("req").and_then(Value::as_u64), Some(9));
+        assert_eq!(lines[5].get("ok").and_then(Value::as_bool), Some(true));
     }
 
     #[test]
@@ -383,6 +964,67 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_serving_answers_every_tagged_request() {
+        let server = Arc::new(test_server());
+        let served = server.registry().get("circ01").unwrap();
+        let bounds = served.structure().bounds().to_vec();
+        let vector = |k: usize| -> Dims {
+            bounds
+                .iter()
+                .map(|b| {
+                    (
+                        b.w.lo() + (k as Coord * 5) % (b.w.len() as Coord),
+                        b.h.lo() + (k as Coord * 11) % (b.h.len() as Coord),
+                    )
+                })
+                .collect()
+        };
+        let n = 60;
+        let mut input = String::new();
+        for k in 0..n {
+            let dims = vector(k);
+            let pairs: Vec<String> = dims.iter().map(|(w, h)| format!("[{w},{h}]")).collect();
+            input.push_str(&format!(
+                "{{\"id\":{k},\"kind\":\"query\",\"structure\":\"circ01\",\"dims\":[{}]}}\n",
+                pairs.join(",")
+            ));
+        }
+        // The pipelined pump needs W: Send + 'static; collect through a
+        // shared buffer.
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf::default();
+        server
+            .serve_pipelined(input.as_bytes(), buf.clone())
+            .unwrap();
+        let output = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let mut seen = vec![false; n];
+        for line in output.lines() {
+            let value = parse(line);
+            assert_eq!(value.get("ok").and_then(Value::as_bool), Some(true));
+            let req = value.get("req").and_then(Value::as_u64).expect("tagged") as usize;
+            assert!(!seen[req], "request {req} answered twice");
+            seen[req] = true;
+            let expected = served.structure().query(&vector(req));
+            assert_eq!(
+                value.get("id").and_then(Value::as_u64),
+                expected.map(|id| u64::from(id.0)),
+                "pipelined answer for request {req} diverges"
+            );
+        }
+        assert!(seen.iter().all(|&s| s), "every request must be answered");
+    }
+
+    #[test]
     fn large_batch_fans_out_and_matches_sequential() {
         let server = test_server();
         let served = server.registry().get("circ01").unwrap();
@@ -400,7 +1042,34 @@ mod tests {
         };
         let dims_list: Vec<Dims> = (0..PARALLEL_BATCH_THRESHOLD + 100).map(vector).collect();
         let expected = served.structure().query_batch(&dims_list);
-        let pooled = server.batch_ids(&served, dims_list).unwrap();
+        let pooled = server.batch_ids(&served, dims_list.clone(), false).unwrap();
         assert_eq!(pooled, expected);
+        // The inline (pool-worker) path answers identically.
+        let inline = server.batch_ids(&served, dims_list, true).unwrap();
+        assert_eq!(inline, expected);
+    }
+
+    #[test]
+    fn cached_instantiate_replays_identical_bytes_and_skips_nothing_observable() {
+        let server = test_server();
+        let dims = midpoint_dims(&server);
+        let pairs: Vec<String> = dims.iter().map(|(w, h)| format!("[{w},{h}]")).collect();
+        let line = format!(
+            r#"{{"kind":"instantiate","structure":"circ01","dims":[{}]}}"#,
+            pairs.join(",")
+        );
+        let first = server.handle_line(&line).unwrap();
+        let second = server.handle_line(&line).unwrap();
+        assert_eq!(
+            first, second,
+            "a cached instantiate must replay byte-identical coordinates"
+        );
+        let stats = server.cache().stats();
+        assert_eq!(stats.hits, 1);
+        // Tagged replay splices the tag without touching the payload.
+        let tagged = server
+            .handle_line(&format!("{{\"id\":9,{}", &line[1..]))
+            .unwrap();
+        assert_eq!(tagged, format!("{{\"req\":9,{}", &first[1..]));
     }
 }

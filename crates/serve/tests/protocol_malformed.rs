@@ -111,6 +111,17 @@ fn battery() -> Vec<(String, &'static str)> {
             r#"{"kind":"instantiate","structure":"circ01","dims":[[20,-3],[20,20],[20,20],[20,20]]}"#.into(),
             "out_of_bounds",
         ),
+        // --- tagged-request framing: ill-formed `id` members ---
+        (r#"{"id":"seven","kind":"stats"}"#.into(), "bad_id"),
+        (r#"{"id":1.5,"kind":"stats"}"#.into(), "bad_id"),
+        (r#"{"id":-3,"kind":"stats"}"#.into(), "bad_id"),
+        (r#"{"id":null,"kind":"stats"}"#.into(), "bad_id"),
+        (r#"{"id":true,"kind":"list_structures"}"#.into(), "bad_id"),
+        (r#"{"id":[7],"kind":"stats"}"#.into(), "bad_id"),
+        (
+            r#"{"id":{"n":7},"kind":"query","structure":"circ01","dims":[[20,20],[20,20],[20,20],[20,20]]}"#.into(),
+            "bad_id",
+        ),
     ];
     // Null bytes and long lines are answered, not fatal.
     cases.push((format!("{}\u{0}", good_query), "parse"));
@@ -167,6 +178,76 @@ fn server_survives_the_whole_battery_and_still_answers() {
             .and_then(Value::as_u64),
         Some(battery_len)
     );
+}
+
+/// The tagged-framing rules are per-connection state, so they are
+/// exercised through a scripted `serve` stream rather than the
+/// stateless per-line battery: duplicate ids, decreasing ids, and
+/// untagged requests after the connection went tagged are each one
+/// typed `bad_id` error — and the connection keeps serving.
+#[test]
+fn tagged_framing_violations_are_refused_without_killing_the_connection() {
+    let server = test_server();
+    let input = concat!(
+        "{\"id\":10,\"kind\":\"list_structures\"}\n",
+        "{\"id\":10,\"kind\":\"stats\"}\n", // duplicate id
+        "{\"id\":4,\"kind\":\"stats\"}\n",  // decreasing id
+        "{\"kind\":\"stats\"}\n",           // missing id on a tagged connection
+        "{\"id\":11,\"kind\":\"query\",\"structure\":\"nope\",\"dims\":[[1,1]]}\n",
+        "{\"id\":12,\"kind\":\"list_structures\"}\n",
+    )
+    .as_bytes()
+    .to_vec();
+    let mut output = Vec::new();
+    server.serve(&input[..], &mut output).unwrap();
+    let lines: Vec<String> = String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(lines.len(), 6, "one response per request line");
+    for (i, line) in lines.iter().enumerate().take(4).skip(1) {
+        assert_error(line, "bad_id", &format!("scripted line {i}"));
+        let value: Value = serde_json::parse(line).unwrap();
+        assert_eq!(
+            value.get("req"),
+            None,
+            "framing-level refusals are untagged: echoing the id would \
+             collide with the response the id's owner got"
+        );
+    }
+    // A dispatch-level error on an accepted tagged request stays
+    // correlatable: the error line echoes the id as `req`.
+    let unknown: Value = serde_json::parse(&lines[4]).unwrap();
+    assert_eq!(unknown.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(unknown.get("req").and_then(Value::as_u64), Some(11));
+    assert_eq!(
+        unknown
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str),
+        Some("unknown_structure")
+    );
+    // ... and the connection still answers afterwards.
+    let last: Value = serde_json::parse(&lines[5]).unwrap();
+    assert_eq!(last.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(last.get("req").and_then(Value::as_u64), Some(12));
+}
+
+/// A fresh connection is not poisoned by another connection's tagged
+/// mode: framing state is strictly per connection.
+#[test]
+fn tagged_mode_is_per_connection() {
+    let server = test_server();
+    let tagged = b"{\"id\":1,\"kind\":\"stats\"}\n".to_vec();
+    let mut output = Vec::new();
+    server.serve(&tagged[..], &mut output).unwrap();
+    // A second connection may still speak untagged.
+    let untagged = b"{\"kind\":\"stats\"}\n".to_vec();
+    let mut output = Vec::new();
+    server.serve(&untagged[..], &mut output).unwrap();
+    let value: Value = serde_json::parse(String::from_utf8(output).unwrap().trim()).unwrap();
+    assert_eq!(value.get("ok").and_then(Value::as_bool), Some(true));
 }
 
 #[test]

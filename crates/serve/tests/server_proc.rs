@@ -190,37 +190,47 @@ fn stdin_stream_answers_match_direct_queries() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Spawns `mps-serve --tcp 0` over `dir` and returns the child plus the
+/// address it announced **on stdout** (the machine-readable contract
+/// that lets parallel CI jobs always pass port 0 and never collide).
+fn spawn_tcp_server(dir: &std::path::Path, extra_args: &[&str]) -> (KillOnDrop, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mps-serve"))
+        .arg(dir)
+        .args(["--tcp", "0"]) // port 0: the OS picks; announced on stdout
+        .args(extra_args)
+        .stdin(Stdio::piped()) // held open so the server keeps running
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mps-serve");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut announce = String::new();
+    stdout
+        .read_line(&mut announce)
+        .expect("server announces its address before serving");
+    let value: Value = serde_json::parse(announce.trim()).expect("announce line is JSON");
+    assert_eq!(value.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        value.get("kind").and_then(Value::as_str),
+        Some("listening"),
+        "first stdout line must be the listening announce, got {announce}"
+    );
+    let addr = value
+        .get("addr")
+        .and_then(Value::as_str)
+        .expect("announce carries the bound address")
+        .to_owned();
+    (KillOnDrop(child), addr)
+}
+
 #[test]
 fn tcp_listener_serves_the_same_protocol() {
     let dir = artifact_dir("tcp");
     let mps = generate_artifact(&dir);
+    let (child, addr) = spawn_tcp_server(&dir, &[]);
 
-    let mut child = Command::new(env!("CARGO_BIN_EXE_mps-serve"))
-        .arg(&dir)
-        .args(["--tcp", "0"]) // port 0: the OS picks; announced on stderr
-        .stdin(Stdio::piped()) // held open so the server keeps running
-        .stdout(Stdio::null())
-        .stderr(Stdio::piped())
-        .spawn()
-        .expect("spawn mps-serve");
-    let stderr = BufReader::new(child.stderr.take().unwrap());
-    let child = KillOnDrop(child);
-
-    let mut port = None;
-    for line in stderr.lines() {
-        let line = line.unwrap();
-        if let Some(addr) = line.strip_prefix("mps-serve: tcp listening on ") {
-            port = addr
-                .trim()
-                .rsplit(':')
-                .next()
-                .and_then(|p| p.parse::<u16>().ok());
-            break;
-        }
-    }
-    let port = port.expect("server announces its TCP port on stderr");
-
-    let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to mps-serve");
+    let stream = TcpStream::connect(&*addr).expect("connect to mps-serve");
+    let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut writer = stream;
 
@@ -234,6 +244,92 @@ fn tcp_listener_serves_the_same_protocol() {
             "TCP answer diverges at {dims:?}"
         );
     }
+    drop(child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pipelining over the wire: a whole burst of tagged requests is written
+/// before any response is read; every response is matched back by its
+/// `req` tag (arrival order is explicitly not part of the contract) and
+/// diffed against the direct query path.
+#[test]
+fn tcp_pipelined_burst_answers_every_tagged_request() {
+    let dir = artifact_dir("pipeline");
+    let mps = generate_artifact(&dir);
+    let (child, addr) = spawn_tcp_server(&dir, &["--workers", "3"]);
+
+    let stream = TcpStream::connect(&*addr).expect("connect to mps-serve");
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let queries = random_stream(120, 0xF1F0);
+    for (k, dims) in queries.iter().enumerate() {
+        let pairs: Vec<String> = dims.iter().map(|&(w, h)| format!("[{w},{h}]")).collect();
+        writeln!(
+            writer,
+            r#"{{"id":{k},"kind":"query","structure":"circ01","dims":[{}]}}"#,
+            pairs.join(",")
+        )
+        .unwrap();
+    }
+    let mut answered = vec![false; queries.len()];
+    for _ in 0..queries.len() {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let value: Value = serde_json::parse(line.trim_end()).expect("valid response JSON");
+        assert_eq!(
+            value.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "unexpected refusal: {line}"
+        );
+        let req = value
+            .get("req")
+            .and_then(Value::as_u64)
+            .expect("pipelined responses are tagged") as usize;
+        assert!(!answered[req], "request {req} answered twice");
+        answered[req] = true;
+        assert_eq!(
+            value.get("id").and_then(Value::as_u64),
+            mps.query(&queries[req]).map(|id| u64::from(id.0)),
+            "pipelined answer {req} diverges from the direct query"
+        );
+    }
+    assert!(answered.iter().all(|&a| a), "every request answered");
+
+    // The same burst again: now largely cache hits — still identical,
+    // and the stats response reports them.
+    for (k, dims) in queries.iter().enumerate() {
+        let pairs: Vec<String> = dims.iter().map(|&(w, h)| format!("[{w},{h}]")).collect();
+        writeln!(
+            writer,
+            r#"{{"id":{},"kind":"query","structure":"circ01","dims":[{}]}}"#,
+            queries.len() + k,
+            pairs.join(",")
+        )
+        .unwrap();
+    }
+    for _ in 0..queries.len() {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let value: Value = serde_json::parse(line.trim_end()).unwrap();
+        let req =
+            value.get("req").and_then(Value::as_u64).expect("tagged") as usize - queries.len();
+        assert_eq!(
+            value.get("id").and_then(Value::as_u64),
+            mps.query(&queries[req]).map(|id| u64::from(id.0)),
+            "cached answer {req} diverges from the direct query"
+        );
+    }
+    writeln!(writer, r#"{{"id":{},"kind":"stats"}}"#, 2 * queries.len()).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let stats: Value = serde_json::parse(line.trim_end()).unwrap();
+    let cache = stats.get("cache").expect("stats carries cache counters");
+    assert!(
+        cache.get("hits").and_then(Value::as_u64).unwrap_or(0) >= queries.len() as u64,
+        "second pass must hit the cache: {line}"
+    );
     drop(child);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -91,22 +91,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pairs: Vec<String> = dims.iter().map(|(w, h)| format!("[{w},{h}]")).collect();
     for line in [
         "{\"kind\":\"list_structures\"}".to_owned(),
+        // Tagged requests carry a strictly increasing `id` and get it
+        // echoed back as `req` — that is what lets a client pipeline
+        // many requests per connection and match responses out of order
+        // (full contract: crates/serve/PROTOCOL.md).
         format!(
-            "{{\"kind\":\"query\",\"structure\":\"circ02\",\"dims\":[{}]}}",
+            "{{\"id\":1,\"kind\":\"query\",\"structure\":\"circ02\",\"dims\":[{}]}}",
             pairs.join(",")
         ),
         format!(
-            "{{\"kind\":\"instantiate\",\"structure\":\"circ02\",\"dims\":[{}]}}",
+            "{{\"id\":2,\"kind\":\"instantiate\",\"structure\":\"circ02\",\"dims\":[{}]}}",
             pairs.join(",")
         ),
+        // The same instantiate again: answered from the sharded LRU
+        // answer cache — byte-identical, no recompute, no re-render.
+        format!(
+            "{{\"id\":3,\"kind\":\"instantiate\",\"structure\":\"circ02\",\"dims\":[{}]}}",
+            pairs.join(",")
+        ),
+        // Hot-swap the registry from the artifact directory; the cache
+        // is invalidated all-or-nothing.
+        "{\"id\":4,\"kind\":\"reload\"}".to_owned(),
         // Malformed input is answered with a typed error, never fatal.
         "{\"kind\":\"query\",\"structure\":\"circ02\",\"dims\":[[1,2,3]]}".to_owned(),
-        "{\"kind\":\"stats\"}".to_owned(),
+        "{\"id\":5,\"kind\":\"stats\"}".to_owned(),
     ] {
         let response = server.handle_line(&line).expect("non-blank line");
         println!("→ {line}");
         println!("← {response}");
     }
+    let cache = server.cache().stats();
+    println!(
+        "answer cache: {} hit(s), {} miss(es), {} invalidation(s)",
+        cache.hits, cache.misses, cache.invalidations
+    );
+    assert_eq!(cache.hits, 1, "the repeated instantiate must hit");
+    assert_eq!(cache.invalidations, 1, "the reload must invalidate");
 
     std::fs::remove_dir_all(&dir)?;
     Ok(())

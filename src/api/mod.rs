@@ -29,4 +29,5 @@ mod error;
 mod workspace;
 
 pub use error::{MpsError, QueryError};
+pub use mps_serve::ServerConfig;
 pub use workspace::{ArtifactSource, StructureHandle, Workspace};

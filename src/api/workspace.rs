@@ -30,7 +30,7 @@ use mps_core::{
 use mps_geom::Dims;
 use mps_netlist::Circuit;
 use mps_placer::Placement;
-use mps_serve::{ServedStructure, StructureRegistry};
+use mps_serve::{ServedStructure, Server, ServerConfig, StructureRegistry};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -347,6 +347,37 @@ impl Workspace {
         Ok(StructureRegistry::open(&self.dir)?)
     }
 
+    /// Opens the workspace directory as a ready-to-pump [`Server`]:
+    /// [`Workspace::serve_registry`] plus the serving knobs — worker
+    /// pool size and the sharded LRU answer cache (capacity / shard
+    /// count; `cache_entries` 0 disables caching). The returned server
+    /// speaks the full `mps-serve` protocol (pipelined tagged requests,
+    /// `reload` hot-swaps with all-or-nothing cache invalidation) over
+    /// any `BufRead`/`Write` pair or a TCP listener.
+    ///
+    /// ```no_run
+    /// # fn main() -> Result<(), analog_mps::api::MpsError> {
+    /// use analog_mps::api::{ServerConfig, Workspace};
+    /// let ws = Workspace::open("out/structures")?;
+    /// let server = std::sync::Arc::new(ws.serve_server(ServerConfig {
+    ///     workers: 4,
+    ///     cache_entries: 65_536,
+    ///     cache_shards: 16,
+    /// })?);
+    /// let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    /// server.serve_tcp(listener); // accepts connections forever
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`MpsError::Serve`] when the scan or any artifact load fails.
+    pub fn serve_server(&self, config: ServerConfig) -> Result<Server, MpsError> {
+        let registry = self.serve_registry()?;
+        Ok(Server::with_config(Arc::new(registry), config))
+    }
+
     fn check_arity(&self, handle: &ServedStructure, dims: &Dims) -> Result<(), MpsError> {
         let expected = handle.structure().block_count();
         if dims.arity() != expected {
@@ -483,6 +514,42 @@ mod tests {
             registry.get("circ02").unwrap().index().query(&dims),
             ws.query("circ02", &dims).unwrap()
         );
+        let _ = std::fs::remove_dir_all(ws.dir());
+    }
+
+    #[test]
+    fn serve_server_applies_cache_knobs() {
+        let mut ws = temp_ws("server");
+        let circuit = benchmarks::circ01();
+        ws.generate_or_load("circ01", &circuit, quick_config(9))
+            .unwrap();
+        let server = ws
+            .serve_server(ServerConfig {
+                workers: 1,
+                cache_entries: 32,
+                cache_shards: 2,
+            })
+            .unwrap();
+        let dims = circuit.min_dims();
+        let pairs: Vec<String> = dims.iter().map(|(w, h)| format!("[{w},{h}]")).collect();
+        let line = format!(
+            r#"{{"kind":"query","structure":"circ01","dims":[{}]}}"#,
+            pairs.join(",")
+        );
+        let first = server.handle_line(&line).unwrap();
+        let second = server.handle_line(&line).unwrap();
+        assert_eq!(first, second, "cache hit replays the identical answer");
+        let stats = server.cache().stats();
+        assert_eq!((stats.hits, stats.capacity), (1, 32));
+        // cache_entries 0 turns the cache off entirely.
+        let uncached = ws
+            .serve_server(ServerConfig {
+                workers: 1,
+                cache_entries: 0,
+                cache_shards: 2,
+            })
+            .unwrap();
+        assert!(!uncached.cache().enabled());
         let _ = std::fs::remove_dir_all(ws.dir());
     }
 
