@@ -8,7 +8,9 @@
 //! cargo run --release -p mps-bench --bin loadgen -- out/structures \
 //!     [--server target/release/mps-serve] [--clients 1,4,16] \
 //!     [--requests N] [--pipeline D] [--hot FRAC] [--batch N] \
-//!     [--reload-interval-ms M] [--min-qps Q] [--require-cache-speedup S]
+//!     [--reload-interval-ms M] [--min-qps Q] [--require-cache-speedup S] \
+//!     [--scale-clients 64,256,1024] [--min-scaling X] \
+//!     [--fanout-batch N] [--require-fanout-speedup X]
 //! ```
 //!
 //! Measured scenarios (each against a freshly spawned server on an
@@ -29,11 +31,27 @@
 //!   (adversarial: every reload invalidates the cache all-or-nothing);
 //! * `batch_hotspot` — 64-vector batch requests over the hot sets,
 //!   exercising the per-element batch cache path (recorded, not gated:
-//!   batch lines are JSON-bound on the wire).
+//!   batch lines are JSON-bound on the wire);
+//! * `conn_scaling` at every `--scale-clients` level (default
+//!   64/256/1024) — the connection-count ceiling probe: far more open
+//!   connections than cores, few requests each, the regime where a
+//!   thread-per-connection server drowns in context switches and the
+//!   shard event loops must not;
+//! * `batch_fanout` — `--fanout-batch`-vector batches (default 512,
+//!   above the server's parallel-fanout threshold) against the default
+//!   server and against `--workers 1`: the speedup is what splitting one
+//!   big batch across the whole worker pool buys.
 //!
 //! Every response is matched by its `req` tag and diffed against the
 //! reference answer; any divergence or refusal fails the run. `--min-qps`
 //! fails the run when the highest-concurrency uniform scenario is slower.
+//! `--min-scaling X` fails the run unless uniform QPS at `<cores>`
+//! clients is at least `X` times the 1-client figure, and
+//! `--require-fanout-speedup X` does the same for the multi-worker vs
+//! single-worker fanout comparison; both gates skip with a warning on
+//! single-core machines, where there is nothing to scale onto. The
+//! scaling curve is additionally written to `out/BENCH_scaling.json`
+//! for CI artifact upload.
 
 use mps_bench::cli::arg_value;
 use mps_bench::{markdown_table, random_dims, write_artifact};
@@ -141,12 +159,9 @@ impl Drop for ServerProc {
     }
 }
 
-fn spawn_server(server_bin: &PathBuf, dir: &PathBuf, cache_entries: Option<usize>) -> ServerProc {
+fn spawn_server(server_bin: &PathBuf, dir: &PathBuf, extra_args: &[&str]) -> ServerProc {
     let mut cmd = Command::new(server_bin);
-    cmd.arg(dir).args(["--tcp", "0"]);
-    if let Some(entries) = cache_entries {
-        cmd.args(["--cache-entries", &entries.to_string()]);
-    }
+    cmd.arg(dir).args(["--tcp", "0"]).args(extra_args);
     let mut child = cmd
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
@@ -431,7 +446,9 @@ fn main() {
             eprintln!(
                 "usage: loadgen <ARTIFACT_DIR> [--server PATH] [--clients 1,4,16] \
                  [--requests N] [--pipeline D] [--hot FRAC] [--batch N] \
-                 [--reload-interval-ms M] [--min-qps Q] [--require-cache-speedup S]"
+                 [--reload-interval-ms M] [--min-qps Q] [--require-cache-speedup S] \
+                 [--scale-clients 64,256,1024] [--min-scaling X] \
+                 [--fanout-batch N] [--require-fanout-speedup X]"
             );
             std::process::exit(2);
         });
@@ -447,9 +464,6 @@ fn main() {
             })
         })
         .collect();
-    client_levels.sort_unstable();
-    client_levels.dedup();
-    let max_clients = *client_levels.last().unwrap_or(&1);
     let requests: usize = arg_value("requests").unwrap_or(400);
     let pipeline: usize = arg_value("pipeline").unwrap_or(4);
     let hot_fraction: f64 = arg_value("hot").unwrap_or(0.9);
@@ -457,6 +471,35 @@ fn main() {
     let reload_ms: u64 = arg_value("reload-interval-ms").unwrap_or(10);
     let min_qps: f64 = arg_value("min-qps").unwrap_or(0.0);
     let require_cache_speedup: f64 = arg_value("require-cache-speedup").unwrap_or(0.0);
+    let scale_arg: String = arg_value("scale-clients").unwrap_or_else(|| "64,256,1024".to_owned());
+    let scale_levels: Vec<usize> = if scale_arg.trim().is_empty() || scale_arg.trim() == "none" {
+        Vec::new()
+    } else {
+        scale_arg
+            .split(',')
+            .map(|c| {
+                c.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --scale-clients element {c:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    let min_scaling: f64 = arg_value("min-scaling").unwrap_or(0.0);
+    let fanout_batch: usize = arg_value("fanout-batch").unwrap_or(512);
+    let require_fanout_speedup: f64 = arg_value("require-fanout-speedup").unwrap_or(0.0);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // The scaling gate compares uniform QPS at `cores` clients to the
+    // 1-client figure, so both levels must be measured regardless of
+    // what `--clients` asked for.
+    if min_scaling > 0.0 {
+        client_levels.push(1);
+        client_levels.push(cores);
+    }
+    client_levels.sort_unstable();
+    client_levels.dedup();
+    let max_clients = *client_levels.last().unwrap_or(&1);
 
     // --- Reference structures (the answers every response is diffed
     //     against) and the request pools -------------------------------
@@ -578,6 +621,27 @@ fn main() {
             })
             .collect(),
     );
+    // Fanout-sized batches: big enough to cross the server's parallel
+    // split threshold, so one request occupies the whole worker pool
+    // instead of a single slot.
+    let fanout_pool: Arc<Vec<PoolEntry>> = Arc::new(
+        (0..64)
+            .map(|k| {
+                let s = k % structures.len();
+                let (name, mps) = &structures[s];
+                let batch: Vec<Dims> = (0..fanout_batch)
+                    .map(|_| {
+                        if rng.random_range(0.0..1.0) < hot_fraction {
+                            hot_sets[s][rng.random_range(0..hot_sets[s].len())].clone()
+                        } else {
+                            uniform_dims(&mut rng, name, mps)
+                        }
+                    })
+                    .collect();
+                batch_entry(name, mps, &batch)
+            })
+            .collect(),
+    );
 
     // --- Scenarios ----------------------------------------------------
     let mut scenario_rows: Vec<Vec<String>> = Vec::new();
@@ -600,8 +664,10 @@ fn main() {
     };
 
     let mut uniform_qps_at_max = 0.0;
+    let mut uniform_qps_at_1 = 0.0;
+    let mut uniform_qps_at_cores = 0.0;
     for &clients in &client_levels {
-        let server = spawn_server(&server_bin, &dir, None);
+        let server = spawn_server(&server_bin, &dir, &[]);
         eprintln!("loadgen: uniform x{clients} against {}", server.addr);
         let o = run_scenario(
             &server.addr,
@@ -616,14 +682,46 @@ fn main() {
         if clients == max_clients {
             uniform_qps_at_max = o.qps;
         }
+        if clients == 1 {
+            uniform_qps_at_1 = o.qps;
+        }
+        if clients == cores {
+            uniform_qps_at_cores = o.qps;
+        }
         scaling.insert(clients.to_string(), o.qps.round().to_value());
         record("uniform", clients, &o);
+    }
+
+    // The connection-ceiling probe: far more open connections than
+    // cores, a short burst each. Thread-per-connection serving falls
+    // over here (memory + context-switch storm); shard event loops must
+    // hold QPS roughly flat across the levels.
+    let scale_requests = requests.div_ceil(12).max(20);
+    let mut conn_scaling = Map::new();
+    for &clients in &scale_levels {
+        let server = spawn_server(&server_bin, &dir, &["--max-connections", "0"]);
+        eprintln!(
+            "loadgen: conn_scaling x{clients} ({scale_requests} reqs each) against {}",
+            server.addr
+        );
+        let o = run_scenario(
+            &server.addr,
+            clients,
+            scale_requests,
+            pipeline,
+            &uniform_pool,
+            None,
+        );
+        total_divergences += o.divergences;
+        total_refusals += o.refusals;
+        conn_scaling.insert(clients.to_string(), o.qps.round().to_value());
+        record("conn_scaling", clients, &o);
     }
 
     // The hotspot scenario doubles as the cached side of the
     // cached/uncached comparison: same pool, same concurrency, the only
     // difference is the server's `--cache-entries`.
-    let server = spawn_server(&server_bin, &dir, None);
+    let server = spawn_server(&server_bin, &dir, &[]);
     eprintln!("loadgen: hotspot x{max_clients} against {}", server.addr);
     let cached = run_scenario(
         &server.addr,
@@ -638,7 +736,7 @@ fn main() {
     record("hotspot", max_clients, &cached);
     drop(server);
 
-    let server = spawn_server(&server_bin, &dir, Some(0));
+    let server = spawn_server(&server_bin, &dir, &["--cache-entries", "0"]);
     eprintln!("loadgen: hotspot (cache disabled) x{max_clients}");
     let uncached = run_scenario(
         &server.addr,
@@ -654,7 +752,7 @@ fn main() {
     drop(server);
     let cache_speedup = cached.qps / uncached.qps.max(1e-9);
 
-    let server = spawn_server(&server_bin, &dir, None);
+    let server = spawn_server(&server_bin, &dir, &[]);
     eprintln!(
         "loadgen: churn x{max_clients} (reload every {reload_ms}ms) against {}",
         server.addr
@@ -679,7 +777,7 @@ fn main() {
     // path under concurrency (throughput here is JSON-bound — 64
     // vectors per line — so it is recorded, not gated).
     let batch_requests = requests.div_ceil(4).max(50);
-    let server = spawn_server(&server_bin, &dir, None);
+    let server = spawn_server(&server_bin, &dir, &[]);
     eprintln!("loadgen: batch_hotspot x{max_clients}");
     let o = run_scenario(
         &server.addr,
@@ -693,6 +791,47 @@ fn main() {
     total_refusals += o.refusals;
     record("batch_hotspot", max_clients, &o);
     drop(server);
+
+    // Fanout comparison: the same stream of over-threshold batches
+    // against the default server (batch split across the pool) and
+    // against `--workers 1` (the old one-batch-one-slot ceiling). Few
+    // clients on purpose — the question is what ONE big batch gains,
+    // not how many fit.
+    let fanout_clients = 2.min(max_clients.max(1));
+    let fanout_requests = requests.div_ceil(16).max(10);
+    let server = spawn_server(&server_bin, &dir, &[]);
+    eprintln!(
+        "loadgen: batch_fanout x{fanout_clients} ({fanout_batch}-vector batches) against {}",
+        server.addr
+    );
+    let fanout_multi = run_scenario(
+        &server.addr,
+        fanout_clients,
+        fanout_requests,
+        2,
+        &fanout_pool,
+        None,
+    );
+    total_divergences += fanout_multi.divergences;
+    total_refusals += fanout_multi.refusals;
+    record("batch_fanout", fanout_clients, &fanout_multi);
+    drop(server);
+
+    let server = spawn_server(&server_bin, &dir, &["--workers", "1"]);
+    eprintln!("loadgen: batch_fanout (1 worker) x{fanout_clients}");
+    let fanout_single = run_scenario(
+        &server.addr,
+        fanout_clients,
+        fanout_requests,
+        2,
+        &fanout_pool,
+        None,
+    );
+    total_divergences += fanout_single.divergences;
+    total_refusals += fanout_single.refusals;
+    record("batch_fanout_1worker", fanout_clients, &fanout_single);
+    drop(server);
+    let fanout_speedup = fanout_multi.qps / fanout_single.qps.max(1e-9);
 
     // --- Report -------------------------------------------------------
     println!(
@@ -710,6 +849,19 @@ fn main() {
         "cached vs uncached hot-spot stream: {:.0} vs {:.0} req/s ({cache_speedup:.2}x)",
         cached.qps, uncached.qps
     );
+    println!(
+        "{fanout_batch}-vector batch fanout, {cores} core(s): {:.0} vs {:.0} req/s \
+         with 1 worker ({fanout_speedup:.2}x)",
+        fanout_multi.qps, fanout_single.qps
+    );
+    if uniform_qps_at_1 > 0.0 && uniform_qps_at_cores > 0.0 {
+        println!(
+            "uniform scaling 1 -> {cores} client(s): {:.0} -> {:.0} req/s ({:.2}x)",
+            uniform_qps_at_1,
+            uniform_qps_at_cores,
+            uniform_qps_at_cores / uniform_qps_at_1
+        );
+    }
 
     let mut top = Map::new();
     top.insert("bench", Value::String("loadgen".to_owned()));
@@ -727,8 +879,22 @@ fn main() {
     top.insert("pipeline_depth", pipeline.to_value());
     top.insert("hot_fraction", hot_fraction.to_value());
     top.insert("batch_len", batch_len.to_value());
+    top.insert("cores", cores.to_value());
     top.insert("scenarios", Value::Array(scenario_values));
-    top.insert("uniform_qps_by_clients", Value::Object(scaling));
+    top.insert("uniform_qps_by_clients", Value::Object(scaling.clone()));
+    top.insert(
+        "conn_scaling_qps_by_clients",
+        Value::Object(conn_scaling.clone()),
+    );
+    let mut fanout = Map::new();
+    fanout.insert("batch_len", fanout_batch.to_value());
+    fanout.insert("multi_worker_qps", fanout_multi.qps.round().to_value());
+    fanout.insert("single_worker_qps", fanout_single.qps.round().to_value());
+    fanout.insert(
+        "speedup",
+        ((fanout_speedup * 100.0).round() / 100.0).to_value(),
+    );
+    top.insert("batch_fanout", Value::Object(fanout.clone()));
     let mut comparison = Map::new();
     comparison.insert("cached_qps", cached.qps.round().to_value());
     comparison.insert("uncached_qps", uncached.qps.round().to_value());
@@ -746,10 +912,42 @@ fn main() {
         "measured_cache_speedup",
         ((cache_speedup * 100.0).round() / 100.0).to_value(),
     );
-    top.insert("gates", Value::Object(gates));
+    let scaling_ratio = if uniform_qps_at_1 > 0.0 {
+        uniform_qps_at_cores / uniform_qps_at_1
+    } else {
+        0.0
+    };
+    gates.insert("min_scaling", min_scaling.to_value());
+    gates.insert(
+        "measured_scaling",
+        ((scaling_ratio * 100.0).round() / 100.0).to_value(),
+    );
+    gates.insert("require_fanout_speedup", require_fanout_speedup.to_value());
+    gates.insert(
+        "measured_fanout_speedup",
+        ((fanout_speedup * 100.0).round() / 100.0).to_value(),
+    );
+    top.insert("gates", Value::Object(gates.clone()));
     let path = write_artifact(
         "BENCH_loadgen.json",
         &serde_json::to_string_pretty(&Value::Object(top)).expect("value trees serialize"),
+    );
+    eprintln!("wrote {}", path.display());
+
+    // The scaling curve as its own artifact — small, stable-shaped,
+    // what CI uploads so a regression is visible as a curve, not a
+    // single number.
+    let mut curve = Map::new();
+    curve.insert("bench", Value::String("scaling".to_owned()));
+    curve.insert("cores", cores.to_value());
+    curve.insert("requests_per_client", requests.to_value());
+    curve.insert("uniform_qps_by_clients", Value::Object(scaling));
+    curve.insert("conn_scaling_qps_by_clients", Value::Object(conn_scaling));
+    curve.insert("batch_fanout", Value::Object(fanout));
+    curve.insert("gates", Value::Object(gates));
+    let path = write_artifact(
+        "BENCH_scaling.json",
+        &serde_json::to_string_pretty(&Value::Object(curve)).expect("value trees serialize"),
     );
     eprintln!("wrote {}", path.display());
 
@@ -771,6 +969,32 @@ fn main() {
             "the cached hot-spot stream is only {cache_speedup:.2}x the uncached run, \
              below the required {require_cache_speedup:.2}x"
         ));
+    }
+    if min_scaling > 0.0 {
+        if cores < 2 {
+            eprintln!(
+                "loadgen: WARN: --min-scaling {min_scaling} skipped — only {cores} core(s), \
+                 nothing to scale onto"
+            );
+        } else if scaling_ratio < min_scaling {
+            fail(&format!(
+                "uniform QPS at {cores} clients is only {scaling_ratio:.2}x the 1-client \
+                 figure, below the required {min_scaling:.2}x"
+            ));
+        }
+    }
+    if require_fanout_speedup > 0.0 {
+        if cores < 2 {
+            eprintln!(
+                "loadgen: WARN: --require-fanout-speedup {require_fanout_speedup} skipped — \
+                 only {cores} core(s), the pool cannot fan out"
+            );
+        } else if fanout_speedup < require_fanout_speedup {
+            fail(&format!(
+                "{fanout_batch}-vector batches are only {fanout_speedup:.2}x faster with the \
+                 full pool than with 1 worker, below the required {require_fanout_speedup:.2}x"
+            ));
+        }
     }
     println!(
         "loadgen: OK — {} scenario(s), 0 divergences, uniform@{max_clients} {:.0} QPS, \

@@ -39,6 +39,7 @@
 //! compiled index, which is what `loadgen --cache-entries 0` uses as the
 //! uncached baseline.
 
+use crate::lock_recover;
 use mps_geom::{Coord, Dims};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -338,7 +339,7 @@ impl AnswerCache {
         let generation = self.generation.load(Ordering::Acquire);
         let hash = key_hash(class, structure, dims);
         let outcome = {
-            let mut shard = self.shard(hash).lock().expect("cache shard poisoned");
+            let mut shard = lock_recover(self.shard(hash));
             shard.get(hash, class, structure, dims)
         };
         match outcome {
@@ -364,7 +365,7 @@ impl AnswerCache {
             return false;
         }
         let hash = key_hash(class, structure, dims);
-        let shard = self.shard(hash).lock().expect("cache shard poisoned");
+        let shard = lock_recover(self.shard(hash));
         shard.index.get(&hash).is_some_and(|slots| {
             slots.iter().any(|&i| {
                 let node = &shard.nodes[i];
@@ -389,7 +390,7 @@ impl AnswerCache {
             return;
         }
         let hash = key_hash(class, structure, dims);
-        let mut shard = self.shard(hash).lock().expect("cache shard poisoned");
+        let mut shard = lock_recover(self.shard(hash));
         // Checked under the shard lock: if the generation is still the
         // token's, a concurrent invalidation has not yet cleared this
         // shard — its clear is ordered after our unlock and will remove
@@ -411,7 +412,7 @@ impl AnswerCache {
         }
         self.generation.fetch_add(1, Ordering::AcqRel);
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            lock_recover(shard).clear();
         }
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
@@ -424,11 +425,7 @@ impl AnswerCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.lock().expect("cache shard poisoned").len)
-                .sum(),
+            entries: self.shards.iter().map(|s| lock_recover(s).len).sum(),
             capacity: self.capacity,
             shards: self.shards.len(),
         }
@@ -444,6 +441,33 @@ mod tests {
 
     fn probe(cache: &AnswerCache, name: &str, d: &Dims) -> CacheLookup {
         cache.lookup(Q, name, d)
+    }
+
+    /// Regression: the shard locks used `.expect("cache shard
+    /// poisoned")`, so one panic while a shard was held turned every
+    /// later lookup/insert/stats touching that shard into a panic of
+    /// its own — a single crashing request disabled the cache (and,
+    /// through the serving layer, whole connections) permanently.
+    #[test]
+    fn a_poisoned_shard_keeps_serving() {
+        let cache = AnswerCache::new(8, 1);
+        let d = dims![(10, 20)];
+        let CacheLookup::Miss(token) = probe(&cache, "a", &d) else {
+            panic!("fresh cache must miss");
+        };
+        cache.insert(token, Q, "a", &d, "answer-line");
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.shards[0].lock().unwrap();
+            panic!("die while holding the only shard");
+        }));
+        assert!(cache.shards[0].is_poisoned());
+        match probe(&cache, "a", &d) {
+            CacheLookup::Hit(line) => assert_eq!(line, "answer-line"),
+            other => panic!("a poisoned shard must still answer: {other:?}"),
+        }
+        assert_eq!(cache.stats().entries, 1);
+        cache.invalidate_all();
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

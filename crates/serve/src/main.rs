@@ -2,8 +2,8 @@
 //! line-delimited JSON protocol.
 //!
 //! ```sh
-//! mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N]
-//!           [--cache-entries N] [--cache-shards N]
+//! mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N] [--shards N]
+//!           [--max-connections N] [--cache-entries N] [--cache-shards N]
 //! ```
 //!
 //! Loads every `*.mps.json` / `*.json` artifact in `ARTIFACT_DIR`
@@ -11,9 +11,11 @@
 //! query index against the structure's own query path), then answers one
 //! JSON request per stdin line with one JSON response per stdout line.
 //! With `--tcp PORT` the same protocol is additionally served on
-//! `127.0.0.1:PORT`, thread-per-connection with pipelining (`PORT` 0
-//! picks a free ephemeral port). The bound address is announced **on
-//! stdout, before any serving**, as a protocol-shaped line —
+//! `127.0.0.1:PORT` with pipelining, connections owned by `--shards N`
+//! shard event loops (default: one per core; thread-per-connection
+//! where the platform has no readiness primitive). `PORT` 0 picks a
+//! free ephemeral port. The bound address is announced **on stdout,
+//! before any serving**, as a protocol-shaped line —
 //!
 //! ```text
 //! {"ok":true,"kind":"listening","addr":"127.0.0.1:40123"}
@@ -24,9 +26,12 @@
 //! go to stderr; stdout carries nothing but the announce line and
 //! response lines.
 //!
-//! `--cache-entries N` sizes the sharded LRU answer cache (default
-//! 4096; 0 disables it), `--cache-shards N` its shard count (default 8).
-//! See `crates/serve/PROTOCOL.md` for the full wire contract.
+//! `--max-connections N` caps concurrently open TCP connections
+//! (default 4096; 0 = unlimited): an accept beyond the cap is answered
+//! with one typed `overloaded` error line and closed. `--cache-entries
+//! N` sizes the sharded LRU answer cache (default 4096; 0 disables it),
+//! `--cache-shards N` its shard count (default 8). See
+//! `crates/serve/PROTOCOL.md` for the full wire contract.
 
 use mps_serve::{Server, ServerConfig, StructureRegistry};
 use std::io::Write;
@@ -34,8 +39,8 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N] \
-                     [--cache-entries N] [--cache-shards N]";
+const USAGE: &str = "usage: mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N] [--shards N] \
+                     [--max-connections N] [--cache-entries N] [--cache-shards N]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -56,6 +61,14 @@ fn main() -> ExitCode {
             },
             "--workers" => match it.next().as_deref().map(str::parse) {
                 Some(Ok(n)) => config.workers = n,
+                _ => return usage(),
+            },
+            "--shards" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => config.shards = n,
+                _ => return usage(),
+            },
+            "--max-connections" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => config.max_connections = n,
                 _ => return usage(),
             },
             "--cache-entries" => match it.next().as_deref().map(str::parse) {
@@ -100,13 +113,14 @@ fn main() -> ExitCode {
         )
     };
     eprintln!(
-        "mps-serve: {} worker(s), {cache_note}",
-        config.workers.max(1)
+        "mps-serve: {} worker(s), {} connection shard(s), {cache_note}",
+        config.workers.max(1),
+        config.effective_shards()
     );
     let server = Arc::new(Server::with_config(Arc::clone(&registry), config));
 
-    // Optional localhost TCP side: one pipelined thread per connection,
-    // all sharing the same registry snapshots, worker pool and cache.
+    // Optional localhost TCP side: connections owned by shard event
+    // loops, all sharing the same registry snapshots, pool and cache.
     let tcp_thread = match tcp_port {
         Some(port) => {
             let listener = match TcpListener::bind(("127.0.0.1", port)) {

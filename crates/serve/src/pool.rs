@@ -6,6 +6,7 @@
 //! typed error to one client instead of killing the server), and a
 //! draining `Drop`.
 
+use crate::lock_recover;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -141,7 +142,10 @@ impl Drop for WorkerPool {
 fn worker_loop(rx: &Mutex<Receiver<Job>>) {
     loop {
         let job = {
-            let guard = rx.lock().expect("job channel lock poisoned");
+            // Poison recovery: a panic between lock and recv (there is
+            // no code there today, but the channel stays valid at any
+            // interleaving) must not stop every other worker.
+            let guard = lock_recover(rx);
             guard.recv()
         };
         match job {

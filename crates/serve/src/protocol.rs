@@ -103,6 +103,10 @@ pub enum ErrorKind {
     /// non-negative integer, not strictly increasing on its connection,
     /// or missing after the connection went tagged.
     BadId,
+    /// The server is at its connection ceiling
+    /// ([`max_connections`](crate::ServerConfig::max_connections)); the
+    /// connection is answered with this single line and closed.
+    Overloaded,
     /// A handler failed internally; the server keeps serving.
     Internal,
 }
@@ -119,6 +123,7 @@ impl ErrorKind {
             ErrorKind::BadArity => "bad_arity",
             ErrorKind::OutOfBounds => "out_of_bounds",
             ErrorKind::BadId => "bad_id",
+            ErrorKind::Overloaded => "overloaded",
             ErrorKind::Internal => "internal",
         }
     }

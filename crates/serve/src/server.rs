@@ -5,32 +5,49 @@
 //! sequentially; [`Server::serve_pipelined`] additionally runs tagged
 //! requests on the worker pool so one connection can keep many requests
 //! in flight (responses come back out of order, matched by their `req`
-//! tag); [`Server::serve_tcp`] accepts connections thread-per-connection,
-//! all sharing the same registry snapshots, worker pool and
-//! [`AnswerCache`]. The server never dies on input: a malformed line
-//! yields a typed error response, and a panicking handler is caught and
-//! answered as an `internal` error.
+//! tag); [`Server::serve_tcp`] accepts connections onto a fixed pool of
+//! shared-nothing [shard](crate::shard) event loops, all sharing the
+//! same registry snapshots, worker pool and [`AnswerCache`]. The server
+//! never dies on input: a malformed line yields a typed error response,
+//! and a panicking handler is caught and answered as an `internal`
+//! error. A panic can also never poison the server: every shared lock
+//! recovers via [`lock_recover`] (the guarded data — counters, rendered
+//! lines, id high-water marks — is valid at any interleaving), so one
+//! crashing request cannot take down the other connections.
 
 use crate::cache::{AnswerCache, CacheClass, CacheLookup};
+use crate::lock_recover;
 use crate::pool::WorkerPool;
 use crate::protocol::{
     id_value, ok_header, parse_envelope, tagged_error_response, ErrorKind, Request, RequestError,
 };
 use crate::registry::{ServedStructure, StructureRegistry};
+use crate::shard::ShardSet;
 use mps_core::PlacementId;
 use mps_geom::Dims;
 use mps_placer::Placement;
 use serde::{Map, Serialize, Value};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Batches at or above this many vectors fan out over the worker pool.
 const PARALLEL_BATCH_THRESHOLD: usize = 256;
+
+/// Floor on the per-chunk size of a fanned-out batch: chunks smaller
+/// than this cost more in handoff than the queries they carry.
+const MIN_FANOUT_CHUNK: usize = 64;
+
+/// How one rendered response line leaves a heavy (pooled) request: the
+/// shard event loop hands completions back to the owning shard's inbox;
+/// the pipelined pump writes them straight to the connection writer.
+/// [`Server::submit_heavy`] guarantees exactly one invocation per
+/// submitted request, panics included.
+pub(crate) type ResponseSink = Arc<dyn Fn(String) + Send + Sync>;
 
 /// Construction knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -42,6 +59,15 @@ pub struct ServerConfig {
     pub cache_entries: usize,
     /// Answer-cache shard count (clamped to `[1, cache_entries]`).
     pub cache_shards: usize,
+    /// Connection-shard event loops behind [`Server::serve_tcp`]: each
+    /// owns a subset of the accepted connections via a non-blocking
+    /// readiness loop. 0 means one per available core.
+    pub shards: usize,
+    /// Ceiling on concurrently open TCP connections; an accept beyond it
+    /// is answered with a single typed `overloaded` error line and
+    /// closed (counted under `connections.refused` in `stats`). 0 means
+    /// unlimited.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +76,20 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map_or(1, usize::from),
             cache_entries: 4096,
             cache_shards: 8,
+            shards: 0,
+            max_connections: 4096,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The effective shard count: `shards`, or the core count when 0.
+    #[must_use]
+    pub fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.shards
         }
     }
 }
@@ -61,19 +101,42 @@ impl Default for ServerConfig {
 /// which makes duplicate detection O(1) and matches how a pipelining
 /// client naturally numbers its stream.
 #[derive(Debug, Default)]
-struct ConnState {
+pub(crate) struct ConnState {
     /// The highest accepted request id, once the connection went tagged.
     last_id: Mutex<Option<u64>>,
 }
 
 /// What [`Server::admit`] decided about one input line.
-enum Admitted {
+pub(crate) enum Admitted {
     /// Blank line: ignored, no response.
     Blank,
     /// Refused at the framing layer; the rendered error response.
     Reply(String),
     /// Accepted; dispatch it (pooled when tagged, inline otherwise).
     Run { id: Option<u64>, request: Request },
+}
+
+/// Ties the `connections_open` gauge to a connection's actual lifetime:
+/// the decrement lives in `Drop`, so it runs on clean close, on I/O
+/// error, and — the case a plain `fetch_sub` after the serve call used
+/// to miss — when the connection's thread panics mid-serve. A leaked
+/// gauge is not cosmetic: `max_connections` admission reads it.
+#[derive(Debug)]
+pub(crate) struct OpenConnGuard {
+    server: Arc<Server>,
+}
+
+impl OpenConnGuard {
+    fn new(server: Arc<Server>) -> Self {
+        server.connections_open.fetch_add(1, Ordering::Relaxed);
+        Self { server }
+    }
+}
+
+impl Drop for OpenConnGuard {
+    fn drop(&mut self) {
+        self.server.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// A successful dispatch: either a response object still to render, or
@@ -94,11 +157,11 @@ struct Pending {
 
 impl Pending {
     fn begin(&self) {
-        *self.count.lock().expect("pending lock poisoned") += 1;
+        *lock_recover(&self.count) += 1;
     }
 
     fn end(&self) {
-        let mut count = self.count.lock().expect("pending lock poisoned");
+        let mut count = lock_recover(&self.count);
         *count -= 1;
         if *count == 0 {
             self.done.notify_all();
@@ -106,15 +169,18 @@ impl Pending {
     }
 
     fn drain(&self) {
-        let mut count = self.count.lock().expect("pending lock poisoned");
+        let mut count = lock_recover(&self.count);
         while *count > 0 {
-            count = self.done.wait(count).expect("pending lock poisoned");
+            count = self
+                .done
+                .wait(count)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
 
 fn write_line<W: Write>(writer: &Mutex<W>, line: &str) -> std::io::Result<()> {
-    let mut writer = writer.lock().expect("response writer poisoned");
+    let mut writer = lock_recover(writer);
     writer.write_all(line.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
@@ -127,6 +193,7 @@ fn write_line<W: Write>(writer: &Mutex<W>, line: &str) -> std::io::Result<()> {
 #[derive(Debug)]
 pub struct Server {
     registry: Arc<StructureRegistry>,
+    config: ServerConfig,
     pool: WorkerPool,
     cache: AnswerCache,
     started: Instant,
@@ -137,6 +204,7 @@ pub struct Server {
     reloads: AtomicU64,
     connections_total: AtomicU64,
     connections_open: AtomicU64,
+    connections_refused: AtomicU64,
     per_structure: Mutex<BTreeMap<String, u64>>,
 }
 
@@ -158,10 +226,13 @@ impl Server {
     /// answer-cache knobs.
     #[must_use]
     pub fn with_config(registry: Arc<StructureRegistry>, config: ServerConfig) -> Self {
+        let pool = WorkerPool::new(config.workers);
+        let cache = AnswerCache::new(config.cache_entries, config.cache_shards);
         Self {
             registry,
-            pool: WorkerPool::new(config.workers),
-            cache: AnswerCache::new(config.cache_entries, config.cache_shards),
+            config,
+            pool,
+            cache,
             started: Instant::now(),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -170,8 +241,15 @@ impl Server {
             reloads: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
             connections_open: AtomicU64::new(0),
+            connections_refused: AtomicU64::new(0),
             per_structure: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The configuration this server was built with.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// The registry this server answers from.
@@ -232,7 +310,7 @@ impl Server {
     /// Framing-layer admission: parses the line, enforces the
     /// tagged-request contract (ids strictly increasing; once tagged,
     /// always tagged), and counts the request.
-    fn admit(&self, state: &ConnState, line: &str) -> Admitted {
+    pub(crate) fn admit(&self, state: &ConnState, line: &str) -> Admitted {
         let line = line.trim();
         if line.is_empty() {
             return Admitted::Blank;
@@ -245,7 +323,7 @@ impl Server {
                 return Admitted::Reply(tagged_error_response(e.id, &e.error));
             }
         };
-        let mut last_id = state.last_id.lock().expect("connection state poisoned");
+        let mut last_id = lock_recover(&state.last_id);
         match envelope.id {
             Some(id) => {
                 if let Some(prev) = *last_id {
@@ -292,7 +370,12 @@ impl Server {
 
     /// Dispatches an admitted request and renders its response line,
     /// echoing the request id as `req` on tagged requests.
-    fn complete(&self, id: Option<u64>, request: Request, on_pool_worker: bool) -> String {
+    pub(crate) fn complete(
+        &self,
+        id: Option<u64>,
+        request: Request,
+        on_pool_worker: bool,
+    ) -> String {
         // A handler bug must cost one error response, not the server.
         let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(request, on_pool_worker)))
             .unwrap_or_else(|_| {
@@ -393,27 +476,16 @@ impl Server {
                     request,
                 } => {
                     pending.begin();
-                    let server = Arc::clone(self);
                     let writer = Arc::clone(&writer);
                     let pending = Arc::clone(&pending);
-                    // `on_pool_worker`: the job holds a pool worker, so
-                    // batch work inside it must not block on a second
-                    // pool slot (that could deadlock a fully loaded
-                    // pool).
-                    self.pool.execute(move || {
-                        // Decrement on every exit path — a panic in the
-                        // render or the write must not leave the EOF
-                        // drain waiting forever.
-                        struct EndOnDrop(Arc<Pending>);
-                        impl Drop for EndOnDrop {
-                            fn drop(&mut self) {
-                                self.0.end();
-                            }
-                        }
-                        let _guard = EndOnDrop(pending);
-                        let response = server.complete(Some(id), request, true);
+                    // submit_heavy invokes the sink exactly once on
+                    // every path, panics included — the EOF drain can
+                    // never be left waiting forever.
+                    let sink: ResponseSink = Arc::new(move |response: String| {
                         let _ = write_line(&writer, &response);
+                        pending.end();
                     });
+                    self.submit_heavy(id, request, sink);
                     Ok(())
                 }
             };
@@ -426,27 +498,86 @@ impl Server {
         result
     }
 
-    /// Accepts TCP connections forever, one thread per connection, every
-    /// connection pumped through [`Server::serve_pipelined`] against the
-    /// shared registry, pool and cache.
+    /// Accepts TCP connections forever onto a fixed pool of
+    /// shared-nothing shard event loops (see [`ServerConfig::shards`]),
+    /// all sharing the same registry snapshots, pool and cache. On
+    /// platforms without a readiness primitive ([`netpoll::Poller::new`]
+    /// reports `Unsupported`) it falls back to one pipelined thread per
+    /// connection. Either way [`ServerConfig::max_connections`] caps the
+    /// open set: an accept beyond it is answered with one `overloaded`
+    /// error line and closed.
     pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) {
+        match ShardSet::spawn(self, self.config.effective_shards()) {
+            Ok(shards) => {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    // Response lines are small; Nagle + delayed ACK
+                    // would add ~40ms stalls per exchange on a chatty
+                    // protocol like this.
+                    let _ = stream.set_nodelay(true);
+                    let Some(guard) = self.admit_connection(&stream) else {
+                        continue;
+                    };
+                    shards.assign(stream, guard);
+                }
+            }
+            Err(_) => self.serve_tcp_threaded(listener),
+        }
+    }
+
+    /// The thread-per-connection fallback for platforms netpoll cannot
+    /// serve; every connection still runs the full pipelined pump.
+    fn serve_tcp_threaded(self: &Arc<Self>, listener: TcpListener) {
         for stream in listener.incoming() {
             let Ok(stream) = stream else { continue };
-            // Response lines are small; Nagle + delayed ACK would add
-            // ~40ms stalls per exchange on a chatty protocol like this.
             let _ = stream.set_nodelay(true);
+            let Some(guard) = self.admit_connection(&stream) else {
+                continue;
+            };
             let server = Arc::clone(self);
-            self.connections_total.fetch_add(1, Ordering::Relaxed);
             std::thread::spawn(move || {
-                server.connections_open.fetch_add(1, Ordering::Relaxed);
+                // The guard's Drop keeps the open-connection gauge
+                // honest even when the serve call below panics.
+                let _guard = guard;
                 if let Ok(read_half) = stream.try_clone() {
                     // Client disconnects surface as I/O errors; the
                     // connection thread just ends.
                     let _ = server.serve_pipelined(BufReader::new(read_half), stream);
                 }
-                server.connections_open.fetch_sub(1, Ordering::Relaxed);
             });
         }
+    }
+
+    /// Admission control at accept time: counts the connection and
+    /// either grants it an [`OpenConnGuard`] or — at the
+    /// [`ServerConfig::max_connections`] ceiling — answers it with a
+    /// single typed `overloaded` error line and refuses it (the caller
+    /// drops the stream, closing it).
+    fn admit_connection(self: &Arc<Self>, stream: &TcpStream) -> Option<OpenConnGuard> {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+        let max = self.config.max_connections;
+        if max != 0 && self.connections_open.load(Ordering::Relaxed) >= max as u64 {
+            self.connections_refused.fetch_add(1, Ordering::Relaxed);
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            let line = tagged_error_response(
+                None,
+                &RequestError::new(
+                    ErrorKind::Overloaded,
+                    format!("the server is at its ceiling of {max} open connections; retry later"),
+                ),
+            );
+            let mut writer = stream;
+            let _ = writer.write_all(line.as_bytes());
+            let _ = writer.write_all(b"\n");
+            return None;
+        }
+        Some(self.track_connection())
+    }
+
+    /// Registers one open connection on the gauge; the returned guard
+    /// decrements it when dropped, panics included.
+    pub(crate) fn track_connection(self: &Arc<Self>) -> OpenConnGuard {
+        OpenConnGuard::new(Arc::clone(self))
     }
 
     /// Whether a request deserves a worker-pool slot instead of the
@@ -455,13 +586,131 @@ impl Server {
     /// instantiate replays stored bytes in well under a microsecond, so
     /// it stays inline (the peek takes no lock promotion and counts no
     /// hit; the authoritative lookup happens in dispatch).
-    fn is_heavy(&self, request: &Request) -> bool {
+    pub(crate) fn is_heavy(&self, request: &Request) -> bool {
         match request {
             Request::Instantiate { structure, dims } => {
                 !self.cache.peek(CacheClass::Instantiate, structure, dims)
             }
             Request::BatchQuery { dims_list, .. } => dims_list.len() >= PARALLEL_BATCH_THRESHOLD,
             _ => false,
+        }
+    }
+
+    /// Routes one heavy tagged request off the calling thread,
+    /// guaranteeing `sink` receives the rendered response line exactly
+    /// once — even when a worker panics. A large batch no longer
+    /// occupies a single pool slot: it fans out in chunks across the
+    /// whole pool and the last chunk to finish assembles the ids back
+    /// into request order. Everything else takes one slot.
+    pub(crate) fn submit_heavy(self: &Arc<Self>, id: u64, request: Request, sink: ResponseSink) {
+        match request {
+            Request::BatchQuery {
+                structure,
+                dims_list,
+            } if dims_list.len() >= PARALLEL_BATCH_THRESHOLD && self.pool.workers() > 1 => {
+                self.fan_out_batch(id, structure, dims_list, sink);
+            }
+            request => {
+                let server = Arc::clone(self);
+                self.pool.execute(move || {
+                    // Deliver from Drop so a panic anywhere in the
+                    // render still produces a response (complete()
+                    // already catches handler panics; this covers the
+                    // rest of the job body).
+                    struct DeliverOnDrop {
+                        sink: ResponseSink,
+                        id: u64,
+                        line: Option<String>,
+                    }
+                    impl Drop for DeliverOnDrop {
+                        fn drop(&mut self) {
+                            let line = self.line.take().unwrap_or_else(|| {
+                                tagged_error_response(
+                                    Some(self.id),
+                                    &RequestError::new(
+                                        ErrorKind::Internal,
+                                        "request handler panicked; the server keeps serving",
+                                    ),
+                                )
+                            });
+                            // A second panic while already unwinding
+                            // would abort the process; the sinks only
+                            // move bytes behind recovered locks, but
+                            // stay paranoid.
+                            let _ = catch_unwind(AssertUnwindSafe(|| (self.sink)(line)));
+                        }
+                    }
+                    let mut delivery = DeliverOnDrop {
+                        sink,
+                        id,
+                        line: None,
+                    };
+                    delivery.line = Some(server.complete(Some(id), request, true));
+                });
+            }
+        }
+    }
+
+    /// Splits one oversized batch into chunks fanned across the whole
+    /// worker pool. Validation runs here on the submitting thread (an
+    /// error costs zero pool slots and renders identically to the
+    /// sequential path); nothing ever blocks waiting for a chunk — the
+    /// last finisher assembles and delivers, so a fully loaded pool
+    /// drains batches without any coordinator parking on a slot.
+    fn fan_out_batch(
+        self: &Arc<Self>,
+        id: u64,
+        structure: String,
+        dims_list: Vec<Dims>,
+        sink: ResponseSink,
+    ) {
+        let validated = self.lookup(&structure).and_then(|served| {
+            for dims in &dims_list {
+                self.check_arity(&served, dims)?;
+            }
+            Ok(served)
+        });
+        let served = match validated {
+            Ok(served) => served,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                sink(tagged_error_response(Some(id), &e));
+                return;
+            }
+        };
+        self.queries
+            .fetch_add(dims_list.len() as u64, Ordering::Relaxed);
+        self.count_structure(&structure, dims_list.len() as u64);
+        let chunk_len = dims_list
+            .len()
+            .div_ceil(self.pool.workers() * 2)
+            .max(MIN_FANOUT_CHUNK);
+        let chunks: Vec<Vec<Dims>> = dims_list.chunks(chunk_len).map(<[Dims]>::to_vec).collect();
+        let fanout = Arc::new(Fanout {
+            server: Arc::clone(self),
+            id,
+            structure,
+            slots: Mutex::new(vec![None; chunks.len()]),
+            remaining: AtomicUsize::new(chunks.len()),
+            sink,
+        });
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let fanout = Arc::clone(&fanout);
+            let served = Arc::clone(&served);
+            self.pool.execute(move || {
+                // Drop-driven countdown: a panicking chunk still counts
+                // down, and the response is still delivered (as an
+                // internal error, from whichever chunk finishes last).
+                struct FinishGuard(Arc<Fanout>);
+                impl Drop for FinishGuard {
+                    fn drop(&mut self) {
+                        self.0.finish_one();
+                    }
+                }
+                let _guard = FinishGuard(Arc::clone(&fanout));
+                let answered = served.index().query_batch(&chunk);
+                lock_recover(&fanout.slots)[i] = Some(answered);
+            });
         }
     }
 
@@ -657,10 +906,7 @@ impl Server {
     /// the critical path, and a per-structure atomic would reset across
     /// reload snapshots).
     fn count_structure(&self, name: &str, n: u64) {
-        let mut map = self
-            .per_structure
-            .lock()
-            .expect("per-structure counter lock poisoned");
+        let mut map = lock_recover(&self.per_structure);
         if let Some(count) = map.get_mut(name) {
             *count += n;
         } else {
@@ -699,11 +945,7 @@ impl Server {
 
     fn stats(&self) -> Map {
         let snapshot = self.registry.snapshot();
-        let per_structure = self
-            .per_structure
-            .lock()
-            .expect("per-structure counter lock poisoned")
-            .clone();
+        let per_structure = lock_recover(&self.per_structure).clone();
         let mut names: Vec<&String> = snapshot.keys().collect();
         names.sort_unstable();
         let structures: Vec<Value> = names
@@ -771,6 +1013,11 @@ impl Server {
             "open",
             self.connections_open.load(Ordering::Relaxed).to_value(),
         );
+        connections.insert(
+            "refused",
+            self.connections_refused.load(Ordering::Relaxed).to_value(),
+        );
+        connections.insert("max", self.config.max_connections.to_value());
         let mut map = ok_header("stats");
         map.insert(
             "uptime_ms",
@@ -779,11 +1026,69 @@ impl Server {
                 .to_value(),
         );
         map.insert("workers", self.pool.workers().to_value());
+        map.insert("shards", self.config.effective_shards().to_value());
         map.insert("counters", Value::Object(counters));
         map.insert("cache", Value::Object(cache));
         map.insert("connections", Value::Object(connections));
         map.insert("structures", Value::Array(structures));
         map
+    }
+}
+
+/// State shared by the chunks of one fanned-out batch: each worker
+/// fills its slot, and the last chunk to finish — success or panic —
+/// assembles the ids back into request order, renders the one response
+/// line, and delivers it through the sink.
+struct Fanout {
+    server: Arc<Server>,
+    id: u64,
+    structure: String,
+    slots: Mutex<Vec<Option<Vec<Option<PlacementId>>>>>,
+    remaining: AtomicUsize,
+    sink: ResponseSink,
+}
+
+impl Fanout {
+    /// Counts one chunk done; the last one assembles and delivers.
+    fn finish_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        let line = catch_unwind(AssertUnwindSafe(|| self.assemble()))
+            .unwrap_or_else(|_| self.internal_error());
+        // This can run inside another panic's unwind (the FinishGuard),
+        // where a second panic would abort the process — so the sink
+        // call is shielded even though the sinks only move bytes.
+        let _ = catch_unwind(AssertUnwindSafe(|| (self.sink)(line)));
+    }
+
+    fn assemble(&self) -> String {
+        let slots = std::mem::take(&mut *lock_recover(&self.slots));
+        if slots.iter().any(Option::is_none) {
+            return self.internal_error();
+        }
+        let ids: Vec<Value> = slots
+            .into_iter()
+            .flatten() // unwrap each filled slot
+            .flatten() // splice the chunks back into one id stream
+            .map(id_value)
+            .collect();
+        let mut map = ok_header("batch_query");
+        map.insert("structure", Value::String(self.structure.clone()));
+        map.insert("ids", Value::Array(ids));
+        map.insert("req", self.id.to_value());
+        crate::protocol::render(map)
+    }
+
+    fn internal_error(&self) -> String {
+        self.server.errors.fetch_add(1, Ordering::Relaxed);
+        tagged_error_response(
+            Some(self.id),
+            &RequestError::new(
+                ErrorKind::Internal,
+                "batch worker panicked; the server keeps serving",
+            ),
+        )
     }
 }
 
@@ -1047,6 +1352,272 @@ mod tests {
         // The inline (pool-worker) path answers identically.
         let inline = server.batch_ids(&served, dims_list, true).unwrap();
         assert_eq!(inline, expected);
+    }
+
+    /// Regression: `Pending` used `.expect("pending lock poisoned")`,
+    /// so one panic while holding the count turned every later
+    /// begin/end/drain on the connection into a second panic.
+    #[test]
+    fn pending_counter_recovers_from_a_poisoned_lock() {
+        let pending = Pending::default();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = pending.count.lock().unwrap();
+            panic!("poison the pending lock");
+        }));
+        assert!(pending.count.is_poisoned());
+        pending.begin();
+        pending.end();
+        pending.drain();
+    }
+
+    /// Regression: a handler panicking while holding a shared lock
+    /// (here the per-structure counter) poisoned it, and every
+    /// subsequent request on *any* connection died in the old
+    /// `.expect("poisoned")` — one crashing request took down the whole
+    /// server. With recovery, later requests answer normally.
+    #[test]
+    fn requests_survive_a_poisoned_shared_lock() {
+        let server = test_server();
+        let dims = midpoint_dims(&server);
+        let first = parse(&server.handle_line(&query_line(&dims)).unwrap());
+        assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true));
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = server.per_structure.lock().unwrap();
+            panic!("handler dies while holding the shared counter lock");
+        }));
+        assert!(server.per_structure.is_poisoned());
+        let after = parse(&server.handle_line(&query_line(&dims)).unwrap());
+        assert_eq!(
+            after.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "a poisoned counter lock must not fail later requests: {after:?}"
+        );
+        let stats = parse(&server.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        assert_eq!(stats.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    /// Regression: the open-connection gauge was decremented by a plain
+    /// `fetch_sub` after the serve call, which never ran when the
+    /// connection thread panicked — the gauge leaked upward forever
+    /// (and, with `max_connections`, leaked slots toward a permanent
+    /// `overloaded` state). The drop guard decrements on every path.
+    #[test]
+    fn connection_gauge_survives_a_panicking_connection_thread() {
+        let server = Arc::new(test_server());
+        let tracked = server.track_connection();
+        assert_eq!(server.connections_open.load(Ordering::Relaxed), 1);
+        drop(tracked);
+        assert_eq!(server.connections_open.load(Ordering::Relaxed), 0);
+        let guard_server = Arc::clone(&server);
+        let handle = std::thread::spawn(move || {
+            let _guard = guard_server.track_connection();
+            panic!("connection thread dies mid-serve");
+        });
+        assert!(handle.join().is_err(), "the thread must have panicked");
+        assert_eq!(
+            server.connections_open.load(Ordering::Relaxed),
+            0,
+            "a panicking connection must still release its gauge slot"
+        );
+    }
+
+    fn wait_for_open(server: &Server, expected: u64) {
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while server.connections_open.load(Ordering::Relaxed) != expected {
+            assert!(Instant::now() < deadline, "gauge never reached {expected}");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn accepts_beyond_max_connections_get_one_overloaded_line() {
+        let circuit = benchmarks::circ01();
+        let config = GeneratorConfig::builder()
+            .outer_iterations(30)
+            .inner_iterations(30)
+            .seed(12)
+            .build();
+        let mps = MpsGenerator::new(&circuit, config).generate().unwrap();
+        let registry = StructureRegistry::in_memory();
+        registry.publish(ServedStructure::from_structure("circ01", mps));
+        let server = Arc::new(Server::with_config(
+            Arc::new(registry),
+            ServerConfig {
+                workers: 1,
+                shards: 1,
+                max_connections: 2,
+                ..ServerConfig::default()
+            },
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept_server = Arc::clone(&server);
+        std::thread::spawn(move || accept_server.serve_tcp(listener));
+        let first = TcpStream::connect(addr).unwrap();
+        let second = TcpStream::connect(addr).unwrap();
+        wait_for_open(&server, 2);
+        // The ceiling is reached: the next accept is answered with one
+        // typed `overloaded` line and closed.
+        let refused = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(&refused);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response = parse(&line);
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            response
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str),
+            Some("overloaded"),
+            "refusal must be typed: {response:?}"
+        );
+        line.clear();
+        assert_eq!(
+            reader.read_line(&mut line).unwrap(),
+            0,
+            "a refused connection is closed after its one error line"
+        );
+        assert_eq!(server.connections_refused.load(Ordering::Relaxed), 1);
+        // Closing an admitted connection frees capacity for new ones.
+        drop(first);
+        wait_for_open(&server, 1);
+        let mut replacement = TcpStream::connect(addr).unwrap();
+        replacement.write_all(b"{\"kind\":\"stats\"}\n").unwrap();
+        let mut reader = BufReader::new(replacement.try_clone().unwrap());
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let stats = parse(&line);
+        assert_eq!(stats.get("ok").and_then(Value::as_bool), Some(true));
+        let connections = stats.get("connections").unwrap();
+        assert_eq!(connections.get("refused").and_then(Value::as_u64), Some(1));
+        assert_eq!(connections.get("max").and_then(Value::as_u64), Some(2));
+        drop(second);
+    }
+
+    /// End-to-end over the sharded event loops: pipelined tagged
+    /// queries, a fanned-out large batch, an untagged request, and a
+    /// request line deliberately split across TCP segments — every
+    /// answer must match the direct query path.
+    #[test]
+    fn sharded_tcp_serving_matches_direct_answers() {
+        let server = Arc::new(Server::with_config(
+            {
+                let circuit = benchmarks::circ01();
+                let config = GeneratorConfig::builder()
+                    .outer_iterations(30)
+                    .inner_iterations(30)
+                    .seed(13)
+                    .build();
+                let mps = MpsGenerator::new(&circuit, config).generate().unwrap();
+                let registry = StructureRegistry::in_memory();
+                registry.publish(ServedStructure::from_structure("circ01", mps));
+                Arc::new(registry)
+            },
+            ServerConfig {
+                workers: 2,
+                shards: 2,
+                ..ServerConfig::default()
+            },
+        ));
+        let served = server.registry().get("circ01").unwrap();
+        let bounds = served.structure().bounds().to_vec();
+        let vector = |k: usize| -> Dims {
+            bounds
+                .iter()
+                .map(|b| {
+                    (
+                        b.w.lo() + (k as mps_geom::Coord * 3) % (b.w.len() as mps_geom::Coord),
+                        b.h.lo() + (k as mps_geom::Coord * 7) % (b.h.len() as mps_geom::Coord),
+                    )
+                })
+                .collect()
+        };
+        let dims_json = |dims: &Dims| -> String {
+            let pairs: Vec<String> = dims.iter().map(|(w, h)| format!("[{w},{h}]")).collect();
+            format!("[{}]", pairs.join(","))
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept_server = Arc::clone(&server);
+        std::thread::spawn(move || accept_server.serve_tcp(listener));
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        // A burst of pipelined tagged queries...
+        let n = 40;
+        let mut burst = String::new();
+        for k in 0..n {
+            burst.push_str(&format!(
+                "{{\"id\":{k},\"kind\":\"query\",\"structure\":\"circ01\",\"dims\":{}}}\n",
+                dims_json(&vector(k))
+            ));
+        }
+        // ...then one batch big enough to fan out over the pool.
+        let batch_id = n;
+        let batch: Vec<Dims> = (0..PARALLEL_BATCH_THRESHOLD + 50).map(vector).collect();
+        let batch_dims: Vec<String> = batch.iter().map(dims_json).collect();
+        burst.push_str(&format!(
+            "{{\"id\":{batch_id},\"kind\":\"batch_query\",\"structure\":\"circ01\",\
+             \"dims_list\":[{}]}}\n",
+            batch_dims.join(",")
+        ));
+        client.write_all(burst.as_bytes()).unwrap();
+        // One more tagged query split mid-line across two TCP segments
+        // with a pause between them: framing must reassemble it.
+        let split_id = n + 1;
+        let split = format!(
+            "{{\"id\":{split_id},\"kind\":\"query\",\"structure\":\"circ01\",\"dims\":{}}}\n",
+            dims_json(&vector(split_id))
+        );
+        let (head, tail) = split.split_at(split.len() / 2);
+        client.write_all(head.as_bytes()).unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        client.write_all(tail.as_bytes()).unwrap();
+
+        let mut answered = std::collections::HashMap::new();
+        let mut line = String::new();
+        for _ in 0..n + 2 {
+            line.clear();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "early EOF");
+            let value = parse(&line);
+            assert_eq!(
+                value.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "unexpected error response: {line}"
+            );
+            let req = value.get("req").and_then(Value::as_u64).expect("tagged");
+            answered.insert(req as usize, value);
+        }
+        for k in (0..n).chain([split_id]) {
+            let expected = served.structure().query(&vector(k));
+            assert_eq!(
+                answered[&k].get("id").and_then(Value::as_u64),
+                expected.map(|id| u64::from(id.0)),
+                "sharded answer for request {k} diverges"
+            );
+        }
+        let expected_batch: Vec<Value> = served
+            .structure()
+            .query_batch(&batch)
+            .into_iter()
+            .map(id_value)
+            .collect();
+        assert_eq!(
+            answered[&batch_id].get("ids"),
+            Some(&Value::Array(expected_batch)),
+            "the fanned-out batch must reassemble ids in request order"
+        );
+        // An untagged connection still gets in-order inline answers.
+        let mut plain = TcpStream::connect(addr).unwrap();
+        plain
+            .write_all(b"{\"kind\":\"list_structures\"}\n")
+            .unwrap();
+        let mut plain_reader = BufReader::new(plain.try_clone().unwrap());
+        line.clear();
+        plain_reader.read_line(&mut line).unwrap();
+        assert!(line.contains("circ01"), "untagged answer: {line}");
     }
 
     #[test]

@@ -363,6 +363,7 @@ impl Workspace {
     ///     workers: 4,
     ///     cache_entries: 65_536,
     ///     cache_shards: 16,
+    ///     ..ServerConfig::default()
     /// })?);
     /// let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     /// server.serve_tcp(listener); // accepts connections forever
@@ -528,6 +529,7 @@ mod tests {
                 workers: 1,
                 cache_entries: 32,
                 cache_shards: 2,
+                ..ServerConfig::default()
             })
             .unwrap();
         let dims = circuit.min_dims();
@@ -547,6 +549,7 @@ mod tests {
                 workers: 1,
                 cache_entries: 0,
                 cache_shards: 2,
+                ..ServerConfig::default()
             })
             .unwrap();
         assert!(!uncached.cache().enabled());

@@ -52,6 +52,7 @@ fn concurrent_clients_with_hot_reload_never_diverge() {
             workers: 3,
             cache_entries: 512,
             cache_shards: 4,
+            ..ServerConfig::default()
         })
         .unwrap(),
     );
@@ -261,6 +262,165 @@ fn concurrent_clients_with_hot_reload_never_diverge() {
         "the hot set must produce cache hits between reloads: {line}"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// 256 concurrent clients against the sharded event-loop server — far
+/// past where a thread-per-connection design stops being "a few worker
+/// threads" and becomes a context-switch storm. Every answer is diffed
+/// against a direct [`Workspace::query`]; zero divergence is tolerated.
+/// The epilogue checks the open-connection gauge drains back down once
+/// the clients hang up (the drop-guard accounting, end to end).
+#[test]
+fn two_hundred_fifty_six_clients_never_diverge() {
+    const STRESS_CLIENTS: usize = 256;
+    const STRESS_REQUESTS: usize = 8;
+
+    let dir = std::env::temp_dir().join(format!("mps_serve_stress_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut ws = Workspace::open(&dir).unwrap();
+    let circuit = benchmarks::circ01();
+    let config = GeneratorConfig::builder()
+        .outer_iterations(40)
+        .inner_iterations(30)
+        .seed(0xC1)
+        .build();
+    ws.generate_or_load("circ01", &circuit, config).unwrap();
+
+    let server = Arc::new(
+        ws.serve_server(ServerConfig {
+            workers: 2,
+            cache_entries: 1024,
+            cache_shards: 4,
+            shards: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap(),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve_tcp(listener));
+    }
+
+    // Precompute vectors and expected answers once; the clients share
+    // the pool read-only so 256 threads don't each run the reference
+    // query path.
+    let bounds = circuit.dim_bounds();
+    let mut rng = StdRng::seed_from_u64(0x5712E55);
+    let pool: Vec<(Dims, Option<u64>)> = (0..64)
+        .map(|_| {
+            let dims: Dims = bounds
+                .iter()
+                .map(|b| {
+                    (
+                        rng.random_range(b.w.lo()..=b.w.hi()),
+                        rng.random_range(b.h.lo()..=b.h.hi()),
+                    )
+                })
+                .collect();
+            let want = ws.query("circ01", &dims).unwrap().map(|id| u64::from(id.0));
+            (dims, want)
+        })
+        .collect();
+
+    let divergences = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for client in 0..STRESS_CLIENTS {
+            let (pool, divergences) = (&pool, &divergences);
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("server must admit 256 clients");
+                let _ = stream.set_nodelay(true);
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                // Pipeline the whole burst, then read all responses.
+                let mut wants = Vec::with_capacity(STRESS_REQUESTS);
+                for id in 0..STRESS_REQUESTS {
+                    let (dims, want) = &pool[(client * 7 + id * 13) % pool.len()];
+                    wants.push(*want);
+                    writeln!(
+                        writer,
+                        r#"{{"id":{id},"kind":"query","structure":"circ01","dims":{}}}"#,
+                        dims_json(dims)
+                    )
+                    .unwrap();
+                }
+                let mut seen = [false; STRESS_REQUESTS];
+                for _ in 0..STRESS_REQUESTS {
+                    let mut line = String::new();
+                    assert!(
+                        reader.read_line(&mut line).unwrap() > 0,
+                        "client {client}: early EOF"
+                    );
+                    let value: Value =
+                        serde_json::parse(line.trim_end()).expect("response is JSON");
+                    assert_eq!(
+                        value.get("ok").and_then(Value::as_bool),
+                        Some(true),
+                        "client {client} refused: {line}"
+                    );
+                    let req = value.get("req").and_then(Value::as_u64).expect("tagged") as usize;
+                    assert!(!seen[req], "client {client}: req {req} answered twice");
+                    seen[req] = true;
+                    if value.get("id").and_then(Value::as_u64) != wants[req] {
+                        divergences.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("client {client} req {req} diverges: {line}");
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        divergences.load(Ordering::Relaxed),
+        0,
+        "sharded serving must answer bit-identically to Workspace::query under 256 clients"
+    );
+
+    // All clients hung up: the open-connection gauge must drain back to
+    // just the stats probe itself — the drop-guard accounting survives
+    // 256 concurrent lifecycles.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let open = stats_field(addr, "connections", "open");
+        if open <= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "open-connection gauge stuck at {open} after every client closed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One stats request over a fresh connection, returning the named
+/// nested counter (0 when anything fails — callers poll).
+fn stats_field(addr: std::net::SocketAddr, group: &str, name: &str) -> u64 {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return 0;
+    };
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return 0,
+    });
+    let mut writer = stream;
+    if writeln!(writer, r#"{{"kind":"stats"}}"#).is_err() {
+        return 0;
+    }
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() {
+        return 0;
+    }
+    let Ok(value) = serde_json::parse(line.trim_end()) else {
+        return 0;
+    };
+    value
+        .get(group)
+        .and_then(|g| g.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
 }
 
 /// Asks the server (over its own short-lived connection) how many

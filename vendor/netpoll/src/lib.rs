@@ -1,0 +1,759 @@
+//! Offline stand-in for a readiness-polling crate (mio-style).
+//!
+//! The build environment has no crates.io access, so the event-loop
+//! bindings the serving layer needs are hand-rolled here: on Linux the
+//! backend is `epoll` (`epoll_create1`/`epoll_ctl`/`epoll_wait` declared
+//! straight against libc, which `std` already links); on other unix
+//! platforms it falls back to a `poll(2)` loop over the registered set;
+//! on anything else [`Poller::new`] reports `Unsupported` so callers can
+//! fall back to a thread-per-connection model at runtime.
+//!
+//! The surface is deliberately tiny — one [`Poller`] with level-triggered
+//! [`register`](Poller::register)/[`reregister`](Poller::reregister)/
+//! [`deregister`](Poller::deregister), a blocking [`wait`](Poller::wait),
+//! and a [`wake`](Poller::wake) that is safe to call from any thread
+//! (eventfd on Linux, a self-pipe elsewhere). Tokens are plain `usize`
+//! values chosen by the caller; [`WAKE_TOKEN`] is reserved.
+//!
+//! ```
+//! use netpoll::{Interest, Poller};
+//! if let Ok(poller) = Poller::new() {
+//!     // Wake from this (or any) thread; wait() returns with no events.
+//!     poller.wake().unwrap();
+//!     let mut events = Vec::new();
+//!     poller.wait(&mut events, Some(std::time::Duration::ZERO)).unwrap();
+//!     assert!(events.is_empty());
+//!     let _ = Interest::READABLE;
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+/// The raw file-descriptor type the poller registers. Mirrors
+/// `std::os::fd::RawFd` on unix; on other platforms the stub backend
+/// never dereferences it.
+pub type RawFd = i32;
+
+/// Token value reserved for the poller's internal waker; user
+/// registrations must not use it (registration refuses it).
+pub const WAKE_TOKEN: usize = usize::MAX;
+
+/// What readiness a registration asks for (level-triggered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Readiness to read.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Readiness to write.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    /// Whether read readiness is requested.
+    #[must_use]
+    pub fn is_readable(self) -> bool {
+        self.readable
+    }
+
+    /// Whether write readiness is requested.
+    #[must_use]
+    pub fn is_writable(self) -> bool {
+        self.writable
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the file descriptor was registered under.
+    pub token: usize,
+    /// Readable now (or the peer closed — read to find out).
+    pub readable: bool,
+    /// Writable now.
+    pub writable: bool,
+    /// Error or hangup was reported; the owner should read/write to
+    /// surface the concrete `io::Error` and drop the connection.
+    pub hangup: bool,
+}
+
+/// Extracts the raw fd from a TCP stream without the caller needing the
+/// unix-only `AsRawFd` trait in scope (on non-unix targets this returns
+/// `-1`, matching the stub backend that will never look at it).
+#[must_use]
+pub fn raw_fd(stream: &std::net::TcpStream) -> RawFd {
+    #[cfg(unix)]
+    {
+        use std::os::fd::AsRawFd;
+        stream.as_raw_fd()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = stream;
+        -1
+    }
+}
+
+/// A level-triggered readiness poller with a cross-thread waker. All
+/// methods take `&self`; the poller is `Send + Sync` and is meant to be
+/// shared (`Arc`) between the owning event loop and the threads that
+/// hand it work via [`Poller::wake`].
+#[derive(Debug)]
+pub struct Poller {
+    backend: imp::Backend,
+}
+
+impl Poller {
+    /// Opens a poller.
+    ///
+    /// # Errors
+    ///
+    /// Any OS-level failure creating the backing epoll/pipe objects, or
+    /// `Unsupported` on platforms with neither epoll nor poll.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            backend: imp::Backend::new()?,
+        })
+    }
+
+    /// Starts watching `fd` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for the reserved [`WAKE_TOKEN`]; otherwise any
+    /// OS-level registration failure (bad fd, duplicate registration).
+    pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        if token == WAKE_TOKEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "token usize::MAX is reserved for the waker",
+            ));
+        }
+        self.backend.register(fd, token, interest)
+    }
+
+    /// Changes the interest (and/or token) of an already-registered fd.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for the reserved token; OS-level failures otherwise.
+    pub fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        if token == WAKE_TOKEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "token usize::MAX is reserved for the waker",
+            ));
+        }
+        self.backend.reregister(fd, token, interest)
+    }
+
+    /// Stops watching `fd`.
+    ///
+    /// # Errors
+    ///
+    /// OS-level failure (typically: the fd was not registered).
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.backend.deregister(fd)
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// elapses, or [`Poller::wake`] is called; readiness is appended to
+    /// `events` (cleared first). A plain wake-up yields zero events.
+    /// `EINTR` is retried internally.
+    ///
+    /// # Errors
+    ///
+    /// Any OS-level wait failure.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        self.backend.wait(events, timeout)
+    }
+
+    /// Makes the current (or next) [`Poller::wait`] return immediately.
+    /// Callable from any thread; wake-ups are merged, not queued.
+    ///
+    /// # Errors
+    ///
+    /// Any OS-level failure writing the wake byte.
+    pub fn wake(&self) -> io::Result<()> {
+        self.backend.wake()
+    }
+}
+
+/// Converts an optional timeout to the millisecond argument epoll/poll
+/// take (`-1` blocks forever), saturating and rounding up so a 1ns
+/// timeout does not busy-spin as 0ms.
+#[cfg(unix)]
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => i32::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
+            .unwrap_or(i32::MAX),
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    //! The epoll backend: bindings declared straight against the libc
+    //! `std` already links. The waker is an `eventfd` registered under
+    //! [`WAKE_TOKEN`](super::WAKE_TOKEN) and drained on every report.
+
+    use super::{timeout_ms, Event, Interest, RawFd, WAKE_TOKEN};
+    use std::io;
+    use std::time::Duration;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o0004000;
+
+    /// `struct epoll_event` — packed on x86-64, which is why the layout
+    /// is spelled out here instead of guessed.
+    #[repr(C, packed)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Backend {
+        epfd: i32,
+        wakefd: i32,
+    }
+
+    // The fds are used concurrently but every syscall on them is atomic;
+    // nothing here needs &mut.
+    unsafe impl Send for Backend {}
+    unsafe impl Sync for Backend {}
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.is_readable() {
+            bits |= EPOLLIN;
+        }
+        if interest.is_writable() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            // SAFETY: plain fd-creating syscalls; failure is reported
+            // through the return value and errno.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let wakefd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    // SAFETY: epfd was just created and is owned here.
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            let backend = Backend { epfd, wakefd };
+            backend.ctl(EPOLL_CTL_ADD, wakefd, EPOLLIN, WAKE_TOKEN as u64)?;
+            Ok(backend)
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+            let mut event = EpollEvent { events, data };
+            // SAFETY: `event` outlives the call; epoll_ctl copies it.
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &raw mut event) }).map(drop)
+        }
+
+        pub(super) fn register(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest_bits(interest), token as u64)
+        }
+
+        pub(super) fn reregister(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest_bits(interest), token as u64)
+        }
+
+        pub(super) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut buf: [EpollEvent; 256] =
+                std::array::from_fn(|_| EpollEvent { events: 0, data: 0 });
+            let n = loop {
+                // SAFETY: `buf` is a valid writable array of 256 events.
+                let ret = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        buf.as_mut_ptr(),
+                        buf.len() as i32,
+                        timeout_ms(timeout),
+                    )
+                };
+                match cvt(ret) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for event in &buf[..n] {
+                let (bits, data) = (event.events, event.data);
+                if data == WAKE_TOKEN as u64 {
+                    // Drain the eventfd so level-triggering stops firing;
+                    // merged wake-ups read back as one counter value.
+                    let mut scratch = [0u8; 8];
+                    // SAFETY: reading 8 bytes into an 8-byte buffer from
+                    // an fd this struct owns.
+                    unsafe { read(self.wakefd, scratch.as_mut_ptr(), scratch.len()) };
+                    continue;
+                }
+                out.push(Event {
+                    token: data as usize,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        pub(super) fn wake(&self) -> io::Result<()> {
+            let one = 1u64.to_ne_bytes();
+            // SAFETY: writing 8 owned bytes to an owned eventfd. A full
+            // counter (EAGAIN) means a wake-up is already pending, which
+            // is exactly the merged semantics wake() promises.
+            let ret = unsafe { write(self.wakefd, one.as_ptr(), one.len()) };
+            if ret < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::WouldBlock {
+                    return Err(e);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            // SAFETY: both fds are owned by this struct and closed once.
+            unsafe {
+                close(self.wakefd);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    //! The portable-unix backend: a registration table rebuilt into a
+    //! `pollfd` array on every wait. The waker is a self-pipe whose read
+    //! end is part of every poll set.
+
+    use super::{timeout_ms, Event, Interest, RawFd, WAKE_TOKEN};
+    use std::collections::HashMap;
+    use std::io;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0o0004000;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Backend {
+        registered: Mutex<HashMap<RawFd, (usize, Interest)>>,
+        pipe_read: i32,
+        pipe_write: i32,
+    }
+
+    unsafe impl Send for Backend {}
+    unsafe impl Sync for Backend {}
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            let mut fds = [0i32; 2];
+            // SAFETY: `fds` is a valid 2-slot array for pipe() to fill.
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                // SAFETY: setting O_NONBLOCK on a pipe fd owned here.
+                if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                    let e = io::Error::last_os_error();
+                    // SAFETY: both pipe fds are owned and not yet shared.
+                    unsafe {
+                        close(fds[0]);
+                        close(fds[1]);
+                    }
+                    return Err(e);
+                }
+            }
+            Ok(Backend {
+                registered: Mutex::new(HashMap::new()),
+                pipe_read: fds[0],
+                pipe_write: fds[1],
+            })
+        }
+
+        fn table(&self) -> std::sync::MutexGuard<'_, HashMap<RawFd, (usize, Interest)>> {
+            self.registered
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        pub(super) fn register(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            if self.table().insert(fd, (token, interest)).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            Ok(())
+        }
+
+        pub(super) fn reregister(
+            &self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            match self.table().get_mut(&fd) {
+                Some(slot) => {
+                    *slot = (token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            match self.table().remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = vec![PollFd {
+                fd: self.pipe_read,
+                events: POLLIN,
+                revents: 0,
+            }];
+            let tokens: Vec<usize> = {
+                let table = self.table();
+                let mut tokens = Vec::with_capacity(table.len());
+                for (&fd, &(token, interest)) in table.iter() {
+                    let mut events = 0i16;
+                    if interest.is_readable() {
+                        events |= POLLIN;
+                    }
+                    if interest.is_writable() {
+                        events |= POLLOUT;
+                    }
+                    fds.push(PollFd {
+                        fd,
+                        events,
+                        revents: 0,
+                    });
+                    tokens.push(token);
+                }
+                tokens
+            };
+            loop {
+                // SAFETY: `fds` is a valid array of fds.len() pollfds.
+                let ret = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+                if ret >= 0 {
+                    break;
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            }
+            if fds[0].revents & POLLIN != 0 {
+                let mut scratch = [0u8; 64];
+                // SAFETY: draining an owned nonblocking pipe into a
+                // stack buffer; looping until empty merges wake-ups.
+                while unsafe { read(self.pipe_read, scratch.as_mut_ptr(), scratch.len()) }
+                    == scratch.len() as isize
+                {}
+            }
+            for (slot, &token) in fds[1..].iter().zip(&tokens) {
+                let bits = slot.revents;
+                if bits == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token,
+                    readable: bits & (POLLIN | POLLHUP) != 0,
+                    writable: bits & POLLOUT != 0,
+                    hangup: bits & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        pub(super) fn wake(&self) -> io::Result<()> {
+            // SAFETY: one byte into an owned nonblocking pipe; a full
+            // pipe already has a wake-up pending (merged semantics).
+            let ret = unsafe { write(self.pipe_write, [1u8].as_ptr(), 1) };
+            if ret < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::WouldBlock {
+                    return Err(e);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            // SAFETY: both pipe ends are owned and closed exactly once.
+            unsafe {
+                close(self.pipe_read);
+                close(self.pipe_write);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    //! The stub backend: [`Backend::new`] fails with `Unsupported`, so
+    //! callers (the sharded server) fall back to thread-per-connection.
+
+    use super::{Event, Interest, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    #[derive(Debug)]
+    pub(super) struct Backend {}
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "netpoll has no backend for this platform",
+            ))
+        }
+
+        pub(super) fn register(&self, _: RawFd, _: usize, _: Interest) -> io::Result<()> {
+            unreachable!("stub backend cannot be constructed")
+        }
+
+        pub(super) fn reregister(&self, _: RawFd, _: usize, _: Interest) -> io::Result<()> {
+            unreachable!("stub backend cannot be constructed")
+        }
+
+        pub(super) fn deregister(&self, _: RawFd) -> io::Result<()> {
+            unreachable!("stub backend cannot be constructed")
+        }
+
+        pub(super) fn wait(&self, _: &mut Vec<Event>, _: Option<Duration>) -> io::Result<()> {
+            unreachable!("stub backend cannot be constructed")
+        }
+
+        pub(super) fn wake(&self) -> io::Result<()> {
+            unreachable!("stub backend cannot be constructed")
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn reports_read_readiness_when_data_arrives() {
+        let poller = Poller::new().unwrap();
+        let (mut client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        poller
+            .register(raw_fd(&server), 7, Interest::READABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "no data yet: {events:?}");
+        client.write_all(b"ping\n").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        let mut buf = [0u8; 16];
+        let n = { &server }.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping\n");
+        poller.deregister(raw_fd(&server)).unwrap();
+    }
+
+    #[test]
+    fn write_interest_fires_and_can_be_dropped() {
+        let poller = Poller::new().unwrap();
+        let (_client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        poller.register(raw_fd(&server), 3, Interest::BOTH).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 3 && e.writable),
+            "a fresh socket has send-buffer room: {events:?}"
+        );
+        // Drop write interest: a quiet socket now reports nothing.
+        poller
+            .reregister(raw_fd(&server), 3, Interest::READABLE)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn wake_crosses_threads_and_merges() {
+        let poller = Arc::new(Poller::new().unwrap());
+        let waker = Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            for _ in 0..5 {
+                waker.wake().unwrap();
+            }
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.is_empty(), "wake-ups carry no events: {events:?}");
+        handle.join().unwrap();
+        // All five wake-ups were drained together; the next wait times out.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let poller = Poller::new().unwrap();
+        let (client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+        poller
+            .register(raw_fd(&server), 9, Interest::READABLE)
+            .unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(
+            events[0].readable,
+            "a closed peer must surface as readable (read returns 0): {events:?}"
+        );
+    }
+
+    #[test]
+    fn wake_token_is_reserved() {
+        let poller = Poller::new().unwrap();
+        let (_client, server) = pair();
+        let err = poller
+            .register(raw_fd(&server), WAKE_TOKEN, Interest::READABLE)
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}
