@@ -128,6 +128,66 @@ mod serde_impls {
     }
 }
 
+mod binfmt_impls {
+    use super::*;
+    use binfmt::{malformed, Decode, Decoder, Encode, Encoder, Error};
+    use std::io::{Read, Write};
+
+    impl Encode for PlacementId {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            enc.varint(u64::from(self.0))
+        }
+    }
+
+    impl Decode for PlacementId {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            let raw = dec.varint()?;
+            u32::try_from(raw)
+                .map(PlacementId)
+                .map_err(|_| malformed(format!("placement index {raw} exceeds u32")))
+        }
+    }
+
+    impl Encode for StoredPlacement {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            self.placement.encode(enc)?;
+            self.dims_box.encode(enc)?;
+            enc.f64(self.avg_cost)?;
+            enc.f64(self.best_cost)?;
+            self.best_dims.encode(enc)
+        }
+    }
+
+    // The cross-field arity invariants are re-validated on decode,
+    // exactly like the JSON path: coordinate vector, validity box and
+    // best-dims vector must agree on the block count, and the recorded
+    // costs must be finite.
+    impl Decode for StoredPlacement {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            let entry = StoredPlacement {
+                placement: Placement::decode(dec)?,
+                dims_box: DimsBox::decode(dec)?,
+                avg_cost: dec.f64()?,
+                best_cost: dec.f64()?,
+                best_dims: Dims::decode(dec)?,
+            };
+            let n = entry.placement.block_count();
+            if entry.dims_box.block_count() != n || entry.best_dims.len() != n {
+                return Err(malformed(format!(
+                    "StoredPlacement arity mismatch: {} coords, {}-block box, {} best dims",
+                    n,
+                    entry.dims_box.block_count(),
+                    entry.best_dims.len()
+                )));
+            }
+            if !entry.avg_cost.is_finite() || !entry.best_cost.is_finite() {
+                return Err(malformed("StoredPlacement costs must be finite"));
+            }
+            Ok(entry)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

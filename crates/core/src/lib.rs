@@ -70,6 +70,9 @@ pub use generator::{
 };
 pub use invariant::InvariantError;
 #[cfg(feature = "serde")]
-pub use persist::{PersistError, FORMAT as PERSIST_FORMAT};
+pub use persist::{
+    PersistError, BIN_MAGIC as PERSIST_BIN_MAGIC, BIN_VERSION as PERSIST_BIN_VERSION,
+    FORMAT as PERSIST_FORMAT,
+};
 pub use structure::MultiPlacementStructure;
 pub use synthesis::{PerformanceModel, SynthesisLoop, SynthesisOutcome};

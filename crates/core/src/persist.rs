@@ -17,8 +17,22 @@
 //! wrong-version, wrong-arity or overlap-violating input yields a typed
 //! [`PersistError`] — never a panic and never a silently corrupt
 //! structure.
+//!
+//! Next to the JSON envelope lives **mps-v2**, a compact length-prefixed
+//! binary encoding of the same payload (`MPSB` magic + version header,
+//! little-endian fixed-width floats, varint-prefixed sections — see the
+//! vendored `binfmt` codec). [`MultiPlacementStructure::save_bin`] /
+//! [`MultiPlacementStructure::load_bin`] are the binary siblings of
+//! `save_json` / `load_json`; loading runs the *same* validation funnel
+//! (per-field invariants, shared structural constructor, full
+//! `check_invariants` battery), so the two formats accept exactly the
+//! same structures and answer queries identically.
+//! [`MultiPlacementStructure::load_auto`] sniffs the magic bytes and
+//! dispatches, which is what lets a serving directory mix `.json` and
+//! `.mpsb` artifacts freely.
 
 use crate::{InvariantError, MultiPlacementStructure};
+use binfmt::{Decode, Decoder, Encode, Encoder};
 use std::fmt;
 use std::path::Path;
 
@@ -28,6 +42,12 @@ use std::path::Path;
 /// rejected by [`MultiPlacementStructure::from_json`] with
 /// [`PersistError::WrongFormat`].
 pub const FORMAT: &str = "mps-v1";
+
+/// Magic bytes opening every mps-v2 binary artifact.
+pub const BIN_MAGIC: [u8; 4] = *b"MPSB";
+
+/// The mps-v2 binary format version this build writes and accepts.
+pub const BIN_VERSION: u16 = 2;
 
 /// Why loading a persisted structure failed.
 #[derive(Debug)]
@@ -43,6 +63,10 @@ pub enum PersistError {
         /// The tag found in the input.
         found: String,
     },
+    /// The input claims to be an mps-v2 binary artifact but fails to
+    /// decode: truncated, malformed, version skew, or a violated
+    /// field-level invariant.
+    BinDecode(binfmt::Error),
     /// The structure decoded but violates the Eq.-5 invariants (overlap,
     /// row inconsistency, illegal placement, out-of-bounds box).
     Invariant(InvariantError),
@@ -59,6 +83,7 @@ impl fmt::Display for PersistError {
                 f,
                 "unsupported structure format `{found}` (this build reads `{FORMAT}`)"
             ),
+            PersistError::BinDecode(e) => write!(f, "malformed mps-v2 binary structure: {e}"),
             PersistError::Invariant(e) => {
                 write!(f, "loaded structure violates invariants: {e}")
             }
@@ -71,6 +96,7 @@ impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PersistError::Decode(e) => Some(e),
+            PersistError::BinDecode(e) => Some(e),
             PersistError::Invariant(e) => Some(e),
             PersistError::Io(e) => Some(e),
             _ => None,
@@ -93,6 +119,12 @@ impl From<std::io::Error> for PersistError {
 impl From<InvariantError> for PersistError {
     fn from(e: InvariantError) -> Self {
         PersistError::Invariant(e)
+    }
+}
+
+impl From<binfmt::Error> for PersistError {
+    fn from(e: binfmt::Error) -> Self {
+        PersistError::BinDecode(e)
     }
 }
 
@@ -179,6 +211,91 @@ impl MultiPlacementStructure {
     pub fn load_json(path: impl AsRef<Path>) -> Result<Self, PersistError> {
         let json = std::fs::read_to_string(path)?;
         Self::from_json(&json)
+    }
+
+    /// Serializes the structure into the mps-v2 binary artifact: the
+    /// [`BIN_MAGIC`] + [`BIN_VERSION`] header followed by the
+    /// length-prefixed binary encoding of the same payload the JSON
+    /// envelope carries.
+    #[must_use]
+    pub fn to_bin(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf);
+        enc.magic(BIN_MAGIC, BIN_VERSION)
+            .and_then(|()| self.encode(&mut enc))
+            .expect("encoding into a Vec cannot fail");
+        buf
+    }
+
+    /// Loads a structure from an mps-v2 binary artifact, re-validating
+    /// everything exactly like [`MultiPlacementStructure::from_json`]:
+    /// magic and version, every field-level invariant, the shared
+    /// structural constructor, and the full Eq.-5 battery of
+    /// [`MultiPlacementStructure::check_invariants`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::BinDecode`] on a wrong magic, version
+    /// skew, truncation, trailing bytes or any malformed/invariant-
+    /// violating field, and [`PersistError::Invariant`] when the decoded
+    /// structure fails the placement-level battery.
+    pub fn from_bin(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut dec = Decoder::new(bytes);
+        let version = dec.magic(BIN_MAGIC)?;
+        if version != BIN_VERSION {
+            return Err(PersistError::BinDecode(binfmt::malformed(format!(
+                "unsupported mps binary version {version} (this build reads {BIN_VERSION})"
+            ))));
+        }
+        let mps = MultiPlacementStructure::decode(&mut dec)?;
+        dec.finish()?;
+        mps.check_invariants().map_err(PersistError::Invariant)?;
+        Ok(mps)
+    }
+
+    /// Writes the mps-v2 binary artifact to a file (conventionally
+    /// `<name>.mpsb`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] when the file cannot be written.
+    pub fn save_bin(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        std::fs::write(path, self.to_bin())?;
+        Ok(())
+    }
+
+    /// Reads and validates a structure from a file written by
+    /// [`MultiPlacementStructure::save_bin`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on I/O failure or any of the
+    /// [`MultiPlacementStructure::from_bin`] rejection cases.
+    pub fn load_bin(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bin(&bytes)
+    }
+
+    /// Reads a structure from a file in either format, deciding by
+    /// content: a file opening with [`BIN_MAGIC`] is decoded as mps-v2
+    /// binary, anything else as the `mps-v1` JSON envelope. Both paths
+    /// run the full validation funnel, so a mixed artifact directory
+    /// needs no per-file configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on I/O failure or any rejection case of
+    /// the dispatched loader.
+    pub fn load_auto(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let bytes = std::fs::read(path)?;
+        if bytes.starts_with(&BIN_MAGIC) {
+            Self::from_bin(&bytes)
+        } else {
+            let json = std::str::from_utf8(&bytes).map_err(|e| {
+                PersistError::Envelope(format!("structure file is neither mps-v2 nor UTF-8: {e}"))
+            })?;
+            Self::from_json(json)
+        }
     }
 }
 
@@ -296,6 +413,104 @@ mod tests {
             MultiPlacementStructure::from_json(&mps.to_json()),
             Err(PersistError::Invariant(_))
         ));
+    }
+
+    #[test]
+    fn binary_roundtrips_with_identical_reserialization() {
+        let mps = sample_structure();
+        let bin = mps.to_bin();
+        assert_eq!(&bin[..4], &BIN_MAGIC);
+        let back = MultiPlacementStructure::from_bin(&bin).unwrap();
+        // Byte-identical JSON re-serialization: the binary round-trip
+        // loses nothing the JSON envelope carries.
+        assert_eq!(back.to_json(), mps.to_json());
+        // And byte-identical binary re-serialization.
+        assert_eq!(back.to_bin(), bin);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let mps = sample_structure();
+        assert!(mps.to_bin().len() * 3 <= mps.to_json().len());
+    }
+
+    #[test]
+    fn truncated_binary_is_rejected() {
+        let bin = sample_structure().to_bin();
+        for cut in [0, 3, 6, bin.len() / 4, bin.len() / 2, bin.len() - 1] {
+            assert!(
+                matches!(
+                    MultiPlacementStructure::from_bin(&bin[..cut]),
+                    Err(PersistError::BinDecode(_))
+                ),
+                "truncation at {cut} must fail cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bin = sample_structure().to_bin();
+        bin.push(0);
+        assert!(matches!(
+            MultiPlacementStructure::from_bin(&bin),
+            Err(PersistError::BinDecode(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let mut bin = sample_structure().to_bin();
+        bin[0] = b'X';
+        assert!(matches!(
+            MultiPlacementStructure::from_bin(&bin),
+            Err(PersistError::BinDecode(_))
+        ));
+        let mut bin = sample_structure().to_bin();
+        bin[4] = 99; // little-endian version low byte
+        let err = MultiPlacementStructure::from_bin(&bin).unwrap_err();
+        assert!(
+            err.to_string().contains("version 99"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn overlapping_boxes_are_rejected_on_binary_load() {
+        let mut mps = sample_structure();
+        mps.insert_unchecked(StoredPlacement {
+            placement: Placement::new(vec![Point::new(0, 0), Point::new(0, 120)]),
+            dims_box: DimsBox::new(vec![
+                BlockRanges::new(Interval::new(40, 80), Interval::new(10, 50)),
+                BlockRanges::new(Interval::new(10, 50), Interval::new(10, 50)),
+            ]),
+            avg_cost: 20.0,
+            best_cost: 15.0,
+            best_dims: mps_geom::dims![(40, 10), (10, 10)],
+        });
+        assert!(matches!(
+            MultiPlacementStructure::from_bin(&mps.to_bin()),
+            Err(PersistError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_bin_and_auto_detect_through_files() {
+        let mps = sample_structure();
+        let dir = std::env::temp_dir();
+        let bin_path = dir.join(format!("mps_persist_unit_test_{}.mpsb", std::process::id()));
+        let json_path = dir.join(format!("mps_persist_unit_test_{}.json", std::process::id()));
+        mps.save_bin(&bin_path).unwrap();
+        mps.save_json(&json_path).unwrap();
+        let from_bin = MultiPlacementStructure::load_bin(&bin_path).unwrap();
+        // load_auto dispatches on content, not extension.
+        let auto_bin = MultiPlacementStructure::load_auto(&bin_path).unwrap();
+        let auto_json = MultiPlacementStructure::load_auto(&json_path).unwrap();
+        assert_eq!(from_bin.to_json(), mps.to_json());
+        assert_eq!(auto_bin.to_json(), mps.to_json());
+        assert_eq!(auto_json.to_json(), mps.to_json());
+        let _ = std::fs::remove_file(&bin_path);
+        let _ = std::fs::remove_file(&json_path);
     }
 
     #[test]

@@ -72,6 +72,75 @@ impl MultiPlacementStructure {
         }
     }
 
+    /// Reassembles a structure from decoded parts, re-validating the
+    /// structural frame the decoders cannot express field-by-field:
+    /// non-empty bounds, one row pair per block, per-entry arity
+    /// agreement, and no row index pointing at a dead or missing entry.
+    /// Both deserializers (JSON and mps-v2 binary) funnel through here,
+    /// so the two load paths accept exactly the same structures. The
+    /// full Eq.-5 / legality battery is `check_invariants()`, which the
+    /// envelope loaders run on top of this.
+    pub(crate) fn from_parts(
+        bounds: Vec<BlockRanges>,
+        floorplan: Rect,
+        entries: Vec<Option<StoredPlacement>>,
+        w_rows: Vec<IntervalMap<u32>>,
+        h_rows: Vec<IntervalMap<u32>>,
+        fallback: Option<Template>,
+    ) -> Result<Self, String> {
+        let n = bounds.len();
+        if n == 0 {
+            return Err("structure must cover at least one block".to_owned());
+        }
+        if w_rows.len() != n || h_rows.len() != n {
+            return Err(format!(
+                "row count mismatch: {n} blocks but {} width rows and {} height rows",
+                w_rows.len(),
+                h_rows.len()
+            ));
+        }
+        for (i, entry) in entries.iter().enumerate() {
+            if let Some(e) = entry {
+                if e.dims_box.block_count() != n {
+                    return Err(format!(
+                        "entry {i} spans {} blocks, structure has {n}",
+                        e.dims_box.block_count()
+                    ));
+                }
+            }
+        }
+        let is_live = |id: u32| entries.get(id as usize).is_some_and(|e| e.is_some());
+        for (rows, label) in [(&w_rows, "w"), (&h_rows, "h")] {
+            for (i, row) in rows.iter().enumerate() {
+                for (_, ids) in row.iter() {
+                    if let Some(&dead) = ids.iter().find(|&&id| !is_live(id)) {
+                        return Err(format!(
+                            "{label}-row {i} references non-live placement {dead}"
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(t) = &fallback {
+            if t.block_count() != n {
+                return Err(format!(
+                    "fallback template spans {} blocks, structure has {n}",
+                    t.block_count()
+                ));
+            }
+        }
+        let live_count = entries.iter().flatten().count();
+        Ok(MultiPlacementStructure {
+            bounds,
+            floorplan,
+            entries,
+            live_count,
+            w_rows,
+            h_rows,
+            fallback,
+        })
+    }
+
     /// Number of blocks `N`.
     #[must_use]
     pub fn block_count(&self) -> usize {
@@ -630,9 +699,10 @@ mod serde_impls {
     }
 
     // Hand-written: beyond field decoding, the structural frame must be
-    // coherent before any method can safely run — non-empty bounds, one
-    // row pair per block, per-entry arity agreement, and no row index
-    // pointing at a dead or missing entry. The full Eq.-5 / legality
+    // coherent before any method can safely run — the shared
+    // `from_parts` constructor re-validates it (non-empty bounds, one
+    // row pair per block, per-entry arity agreement, no row index
+    // pointing at a dead or missing entry). The full Eq.-5 / legality
     // check is `check_invariants()`, which the `mps-v1` envelope loader
     // (`MultiPlacementStructure::from_json`) runs on top of this.
     impl Deserialize for MultiPlacementStructure {
@@ -648,62 +718,62 @@ mod serde_impls {
             let w_rows: Vec<IntervalMap<u32>> = Deserialize::from_value(field("w_rows")?)?;
             let h_rows: Vec<IntervalMap<u32>> = Deserialize::from_value(field("h_rows")?)?;
             let fallback: Option<Template> = Deserialize::from_value(field("fallback")?)?;
+            MultiPlacementStructure::from_parts(
+                bounds, floorplan, entries, w_rows, h_rows, fallback,
+            )
+            .map_err(Error::custom)
+        }
+    }
+}
 
-            let n = bounds.len();
-            if n == 0 {
-                return Err(Error::custom("structure must cover at least one block"));
+mod binfmt_impls {
+    use super::*;
+    use binfmt::{malformed, Decode, Decoder, Encode, Encoder, Error};
+    use std::io::{Read, Write};
+
+    /// Allocation caps for decoded top-level sections. Sanity bounds,
+    /// not tight limits: real structures have tens of blocks and at
+    /// most a few thousand stored placements.
+    const MAX_BLOCKS: usize = 1 << 20;
+    const MAX_ENTRIES: usize = 1 << 24;
+
+    // Field order mirrors the JSON key order; `live_count` is derived
+    // from `entries` and recomputed on decode, exactly like the JSON
+    // path.
+    impl Encode for MultiPlacementStructure {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            enc.seq(&self.bounds)?;
+            self.floorplan.encode(enc)?;
+            enc.varint(self.entries.len() as u64)?;
+            for entry in &self.entries {
+                enc.option(entry.as_ref())?;
             }
-            if w_rows.len() != n || h_rows.len() != n {
-                return Err(Error::custom(format!(
-                    "row count mismatch: {n} blocks but {} width rows and {} height rows",
-                    w_rows.len(),
-                    h_rows.len()
-                )));
+            enc.seq(&self.w_rows)?;
+            enc.seq(&self.h_rows)?;
+            enc.option(self.fallback.as_ref())
+        }
+    }
+
+    // Validate-don't-trust: every per-type decoder re-runs its own
+    // invariants, and the shared `from_parts` constructor re-validates
+    // the structural frame — the same funnel the JSON deserializer goes
+    // through, so both formats accept exactly the same structures.
+    impl Decode for MultiPlacementStructure {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            let bounds: Vec<BlockRanges> = dec.seq(MAX_BLOCKS, "structure bounds")?;
+            let floorplan = Rect::decode(dec)?;
+            let n_entries = dec.len(MAX_ENTRIES, "structure entries")?;
+            let mut entries = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                entries.push(dec.option::<StoredPlacement>()?);
             }
-            for (i, entry) in entries.iter().enumerate() {
-                if let Some(e) = entry {
-                    if e.dims_box.block_count() != n {
-                        return Err(Error::custom(format!(
-                            "entry {i} spans {} blocks, structure has {n}",
-                            e.dims_box.block_count()
-                        )));
-                    }
-                }
-            }
-            let is_live = |id: u32| {
-                entries
-                    .get(id as usize)
-                    .is_some_and(|e: &Option<StoredPlacement>| e.is_some())
-            };
-            for (rows, label) in [(&w_rows, "w"), (&h_rows, "h")] {
-                for (i, row) in rows.iter().enumerate() {
-                    for (_, ids) in row.iter() {
-                        if let Some(&dead) = ids.iter().find(|&&id| !is_live(id)) {
-                            return Err(Error::custom(format!(
-                                "{label}-row {i} references non-live placement {dead}"
-                            )));
-                        }
-                    }
-                }
-            }
-            if let Some(t) = &fallback {
-                if t.block_count() != n {
-                    return Err(Error::custom(format!(
-                        "fallback template spans {} blocks, structure has {n}",
-                        t.block_count()
-                    )));
-                }
-            }
-            let live_count = entries.iter().flatten().count();
-            Ok(MultiPlacementStructure {
-                bounds,
-                floorplan,
-                entries,
-                live_count,
-                w_rows,
-                h_rows,
-                fallback,
-            })
+            let w_rows: Vec<IntervalMap<u32>> = dec.seq(MAX_BLOCKS, "structure w_rows")?;
+            let h_rows: Vec<IntervalMap<u32>> = dec.seq(MAX_BLOCKS, "structure h_rows")?;
+            let fallback: Option<Template> = dec.option()?;
+            MultiPlacementStructure::from_parts(
+                bounds, floorplan, entries, w_rows, h_rows, fallback,
+            )
+            .map_err(malformed)
         }
     }
 }

@@ -123,11 +123,12 @@ impl Dims {
 
     /// Wraps a vector *without* validating it.
     ///
-    /// This is the decode-side constructor for wire data (the serve
-    /// protocol accepts any integers and answers out-of-range vectors
-    /// with `id: null` / a typed bounds error downstream) and for
-    /// adversarial test probes. Code constructing dimension vectors of
-    /// its own should use [`Dims::new`].
+    /// This exists for trusted in-process construction (probe
+    /// generators, tests, adversarial fuzzing inputs) where the caller
+    /// either guarantees validity or deliberately wants an invalid
+    /// vector. Untrusted data — the serve wire protocol, persisted
+    /// artifacts — must go through [`Dims::new`] instead, so degenerate
+    /// vectors are refused at the trust boundary.
     #[must_use]
     pub fn from_vec_unchecked(pairs: Vec<(Coord, Coord)>) -> Self {
         Self { pairs }
@@ -308,6 +309,39 @@ mod serde_impls {
     impl Deserialize for Dims {
         fn from_value(value: &Value) -> Result<Self, Error> {
             Vec::<(Coord, Coord)>::from_value(value).map(Dims::from_vec_unchecked)
+        }
+    }
+}
+
+mod binfmt_impls {
+    use super::*;
+    use crate::dims_box::MAX_BLOCKS;
+    use binfmt::{malformed, Decode, Decoder, Encode, Encoder, Error};
+    use std::io::{Read, Write};
+
+    impl Encode for Dims {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            enc.varint(self.pairs.len() as u64)?;
+            for &(w, h) in &self.pairs {
+                enc.zigzag(w)?;
+                enc.zigzag(h)?;
+            }
+            Ok(())
+        }
+    }
+
+    // Binary `Dims` only occur inside persisted artifacts (a stored
+    // placement's `best_dims`), never on the wire, so decoding goes
+    // through the *checked* constructor: a persisted vector is always a
+    // valid one.
+    impl Decode for Dims {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            let n = dec.len(MAX_BLOCKS, "Dims pairs")?;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pairs.push((dec.zigzag()?, dec.zigzag()?));
+            }
+            Dims::new(pairs).map_err(|e| malformed(e.to_string()))
         }
     }
 }

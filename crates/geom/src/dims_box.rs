@@ -357,6 +357,47 @@ serde::impl_serde_struct!(DimIndex { block, axis });
 #[cfg(feature = "serde")]
 serde::impl_serde_struct!(DimsBox { ranges });
 
+mod binfmt_impls {
+    use super::*;
+    use binfmt::{Decode, Decoder, Encode, Encoder, Error};
+    use std::io::{Read, Write};
+
+    /// Allocation cap for decoded per-block sections: far above any real
+    /// circuit (the paper's largest benchmark has 24 blocks), far below
+    /// anything that could hurt the allocator.
+    pub(crate) const MAX_BLOCKS: usize = 1 << 20;
+
+    impl Encode for BlockRanges {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            self.w.encode(enc)?;
+            self.h.encode(enc)
+        }
+    }
+
+    impl Decode for BlockRanges {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            Ok(BlockRanges::new(
+                Interval::decode(dec)?,
+                Interval::decode(dec)?,
+            ))
+        }
+    }
+
+    impl Encode for DimsBox {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            enc.seq(&self.ranges)
+        }
+    }
+
+    impl Decode for DimsBox {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            Ok(DimsBox::new(dec.seq(MAX_BLOCKS, "DimsBox ranges")?))
+        }
+    }
+}
+
+pub(crate) use binfmt_impls::MAX_BLOCKS;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -288,6 +288,26 @@ mod serde_impls {
     }
 }
 
+mod binfmt_impls {
+    use super::*;
+    use binfmt::{malformed, Decode, Decoder, Encode, Encoder, Error};
+    use std::io::{Read, Write};
+
+    impl Encode for Interval {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            enc.zigzag(self.lo)?;
+            enc.zigzag(self.hi)
+        }
+    }
+
+    // `lo <= hi` is re-validated, exactly like the JSON path.
+    impl Decode for Interval {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            Interval::try_new(dec.zigzag()?, dec.zigzag()?).map_err(|e| malformed(e.to_string()))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

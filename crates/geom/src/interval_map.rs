@@ -374,6 +374,58 @@ mod serde_impls {
     }
 }
 
+mod binfmt_impls {
+    use super::*;
+    use binfmt::{malformed, Decode, Decoder, Encode, Encoder, Error};
+    use std::io::{Read, Write};
+
+    /// Allocation caps for decoded rows. A row over a coordinate range
+    /// of millions of grid units cannot exceed a few thousand segments
+    /// in practice; these are sanity bounds, not tight limits.
+    const MAX_SEGMENTS: usize = 1 << 24;
+    const MAX_IDS_PER_SEGMENT: usize = 1 << 24;
+
+    impl Encode for IntervalMap<u32> {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            enc.varint(self.segments.len() as u64)?;
+            for (iv, ids) in &self.segments {
+                iv.encode(enc)?;
+                enc.varint(ids.len() as u64)?;
+                for &id in ids {
+                    enc.varint(u64::from(id))?;
+                }
+            }
+            Ok(())
+        }
+    }
+
+    // The row invariants (ascending, non-overlapping, sorted non-empty
+    // index arrays) are re-validated on decode, exactly like the JSON
+    // path.
+    impl Decode for IntervalMap<u32> {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            let n = dec.len(MAX_SEGMENTS, "IntervalMap segments")?;
+            let mut segments = Vec::with_capacity(n);
+            for _ in 0..n {
+                let iv = Interval::decode(dec)?;
+                let k = dec.len(MAX_IDS_PER_SEGMENT, "IntervalMap segment ids")?;
+                let mut ids = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let raw = dec.varint()?;
+                    let id = u32::try_from(raw)
+                        .map_err(|_| malformed(format!("placement index {raw} exceeds u32")))?;
+                    ids.push(id);
+                }
+                segments.push((iv, ids));
+            }
+            let map = IntervalMap { segments };
+            map.check_invariants()
+                .map_err(|e| malformed(format!("invalid IntervalMap: {e}")))?;
+            Ok(map)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -82,6 +82,25 @@ impl From<(Coord, Coord)> for Point {
 #[cfg(feature = "serde")]
 serde::impl_serde_struct!(Point { x, y });
 
+mod binfmt_impls {
+    use super::*;
+    use binfmt::{Decode, Decoder, Encode, Encoder, Error};
+    use std::io::{Read, Write};
+
+    impl Encode for Point {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            enc.zigzag(self.x)?;
+            enc.zigzag(self.y)
+        }
+    }
+
+    impl Decode for Point {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            Ok(Point::new(dec.zigzag()?, dec.zigzag()?))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -254,6 +254,35 @@ mod serde_impls {
     }
 }
 
+mod binfmt_impls {
+    use super::*;
+    use binfmt::{malformed, Decode, Decoder, Encode, Encoder, Error};
+    use std::io::{Read, Write};
+
+    impl Encode for Rect {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            self.origin.encode(enc)?;
+            enc.zigzag(self.w)?;
+            enc.zigzag(self.h)
+        }
+    }
+
+    // Positive extent is re-validated, exactly like the JSON path.
+    impl Decode for Rect {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            let origin = Point::decode(dec)?;
+            let w = dec.zigzag()?;
+            let h = dec.zigzag()?;
+            if w <= 0 || h <= 0 {
+                return Err(malformed(format!(
+                    "rectangle dimensions must be positive (got {w}x{h})"
+                )));
+            }
+            Ok(Rect { origin, w, h })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

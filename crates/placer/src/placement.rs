@@ -201,6 +201,27 @@ impl FromIterator<Point> for Placement {
 #[cfg(feature = "serde")]
 serde::impl_serde_struct!(Placement { coords });
 
+mod binfmt_impls {
+    use super::*;
+    use binfmt::{Decode, Decoder, Encode, Encoder, Error};
+    use std::io::{Read, Write};
+
+    /// Allocation cap for decoded coordinate vectors (one per block).
+    const MAX_BLOCKS: usize = 1 << 20;
+
+    impl Encode for Placement {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            enc.seq(&self.coords)
+        }
+    }
+
+    impl Decode for Placement {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            Ok(Placement::new(dec.seq(MAX_BLOCKS, "Placement coords")?))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

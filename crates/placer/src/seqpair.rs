@@ -278,6 +278,54 @@ mod serde_impls {
     }
 }
 
+mod binfmt_impls {
+    use super::*;
+    use binfmt::{malformed, Decode, Decoder, Encode, Encoder, Error};
+    use std::io::{Read, Write};
+
+    /// Allocation cap for decoded sequences (one slot per block).
+    const MAX_BLOCKS: usize = 1 << 20;
+
+    fn encode_seq<W: Write>(enc: &mut Encoder<W>, seq: &[usize]) -> std::io::Result<()> {
+        enc.varint(seq.len() as u64)?;
+        for &v in seq {
+            enc.varint(v as u64)?;
+        }
+        Ok(())
+    }
+
+    fn decode_seq<R: Read>(dec: &mut Decoder<R>, what: &str) -> Result<Vec<usize>, Error> {
+        let n = dec.len(MAX_BLOCKS, what)?;
+        let mut seq = Vec::with_capacity(n);
+        for _ in 0..n {
+            let raw = dec.varint()?;
+            let v = usize::try_from(raw)
+                .map_err(|_| malformed(format!("sequence element {raw} exceeds usize")))?;
+            seq.push(v);
+        }
+        Ok(seq)
+    }
+
+    impl Encode for SequencePair {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            encode_seq(enc, &self.pos)?;
+            encode_seq(enc, &self.neg)
+        }
+    }
+
+    // The both-sequences-are-permutations invariant is re-validated on
+    // decode via the checked constructor, exactly like the JSON path.
+    impl Decode for SequencePair {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            let pos = decode_seq(dec, "SequencePair pos")?;
+            let neg = decode_seq(dec, "SequencePair neg")?;
+            SequencePair::new(pos, neg).ok_or_else(|| {
+                malformed("SequencePair sequences must be equal-length permutations of 0..n")
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

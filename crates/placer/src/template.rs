@@ -123,6 +123,24 @@ impl Template {
 #[cfg(feature = "serde")]
 serde::impl_serde_struct!(Template { seqpair });
 
+mod binfmt_impls {
+    use super::*;
+    use binfmt::{Decode, Decoder, Encode, Encoder, Error};
+    use std::io::{Read, Write};
+
+    impl Encode for Template {
+        fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+            self.seqpair.encode(enc)
+        }
+    }
+
+    impl Decode for Template {
+        fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+            Ok(Template::new(SequencePair::decode(dec)?))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

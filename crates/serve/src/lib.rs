@@ -51,6 +51,8 @@
 
 mod cache;
 mod compiled;
+#[cfg(feature = "serde")]
+pub mod frame;
 mod pool;
 #[cfg(feature = "serde")]
 mod protocol;

@@ -4,12 +4,17 @@
 //! ```sh
 //! mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N] [--shards N]
 //!           [--max-connections N] [--cache-entries N] [--cache-shards N]
+//! mps-serve convert <IN> <OUT>
 //! ```
 //!
-//! Loads every `*.mps.json` / `*.json` artifact in `ARTIFACT_DIR`
-//! (re-validating the `mps-v1` envelope and cross-checking the compiled
-//! query index against the structure's own query path), then answers one
-//! JSON request per stdin line with one JSON response per stdout line.
+//! Loads every `*.json` (`mps-v1` JSON envelope) and `*.mpsb`
+//! (`mps-v2` binary) artifact in `ARTIFACT_DIR` — mixed freely, format
+//! detected per file — re-validating each envelope and cross-checking
+//! the compiled query index against the structure's own query path,
+//! then answers one JSON request per stdin line with one JSON response
+//! per stdout line (`batch_query` may opt into a binary response frame
+//! with `"encoding":"bin"`). `convert` re-encodes one artifact between
+//! the two formats, direction chosen by the output extension.
 //! With `--tcp PORT` the same protocol is additionally served on
 //! `127.0.0.1:PORT` with pipelining, connections owned by `--shards N`
 //! shard event loops (default: one per core; thread-per-connection
@@ -33,6 +38,7 @@
 //! `--cache-shards N` its shard count (default 8). See
 //! `crates/serve/PROTOCOL.md` for the full wire contract.
 
+use mps_core::MultiPlacementStructure;
 use mps_serve::{Server, ServerConfig, StructureRegistry};
 use std::io::Write;
 use std::net::TcpListener;
@@ -40,15 +46,60 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage: mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N] [--shards N] \
-                     [--max-connections N] [--cache-entries N] [--cache-shards N]";
+                     [--max-connections N] [--cache-entries N] [--cache-shards N]\n\
+                     \x20      mps-serve convert <IN> <OUT>   (artifact format by extension: \
+                     .json = mps-v1, .mpsb = mps-v2)";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
+/// `mps-serve convert <IN> <OUT>`: re-encode one artifact between the
+/// mps-v1 JSON envelope and the mps-v2 binary format. The input format
+/// is sniffed from the file content; the output format follows the
+/// output extension (`.mpsb` = binary, anything else = JSON). Both
+/// directions run the full validation funnel on load, so a convert is
+/// also a verification pass.
+fn convert(input: &str, output: &str) -> ExitCode {
+    let structure = match MultiPlacementStructure::load_auto(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mps-serve: cannot load {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let binary = std::path::Path::new(output)
+        .extension()
+        .is_some_and(|e| e == "mpsb");
+    let result = if binary {
+        structure.save_bin(output)
+    } else {
+        structure.save_json(output)
+    };
+    if let Err(e) = result {
+        eprintln!("mps-serve: cannot write {output}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "mps-serve: converted {input} -> {output} ({})",
+        if binary {
+            "mps-v2 binary"
+        } else {
+            "mps-v1 JSON"
+        }
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("convert") {
+        return match args.as_slice() {
+            [_, input, output] => convert(input, output),
+            _ => usage(),
+        };
+    }
     let mut dir: Option<String> = None;
     let mut tcp_port: Option<u16> = None;
     let mut config = ServerConfig::default();

@@ -31,7 +31,7 @@
 //! tagged too. Violations are answered with a typed `bad_id` error. The
 //! full framing contract lives in `crates/serve/PROTOCOL.md`.
 
-use mps_geom::{Coord, Dims};
+use mps_geom::{Coord, Dims, DimsError};
 use serde::{Map, Serialize, Value};
 
 /// Every request kind the server understands, as spelled on the wire.
@@ -61,6 +61,9 @@ pub enum Request {
         structure: String,
         /// The dimension vectors, answered element-wise.
         dims_list: Vec<Dims>,
+        /// The request carried `"encoding":"bin"`: answer with a binary
+        /// frame (see [`crate::frame`]) instead of a JSON line.
+        binary: bool,
     },
     /// Materialize the placement (block coordinates) for one vector,
     /// falling back to the backup packing in uncovered space.
@@ -266,6 +269,7 @@ fn parse_request_body(obj: &Map) -> Result<Request, RequestError> {
             Ok(Request::BatchQuery {
                 structure,
                 dims_list,
+                binary: binary_encoding(obj)?,
             })
         }
         "instantiate" => Ok(Request::Instantiate {
@@ -285,6 +289,27 @@ fn parse_request_body(obj: &Map) -> Result<Request, RequestError> {
     }
 }
 
+/// Decodes the optional `encoding` member: absent or `"json"` keeps the
+/// JSON response line, `"bin"` opts this one request into a binary
+/// answer frame. Anything else is a typed protocol error.
+fn binary_encoding(obj: &Map) -> Result<bool, RequestError> {
+    match obj.get("encoding") {
+        None => Ok(false),
+        Some(value) => match value.as_str() {
+            Some("json") => Ok(false),
+            Some("bin") => Ok(true),
+            Some(other) => Err(RequestError::new(
+                ErrorKind::Protocol,
+                format!("unknown `encoding` `{other}` (this server speaks json, bin)"),
+            )),
+            None => Err(RequestError::new(
+                ErrorKind::Protocol,
+                format!("`encoding` must be a string, found {}", value.kind()),
+            )),
+        },
+    }
+}
+
 fn required_string(obj: &Map, member: &str) -> Result<String, RequestError> {
     let value = obj.get(member).ok_or_else(|| {
         RequestError::new(ErrorKind::Protocol, format!("missing `{member}` member"))
@@ -297,9 +322,13 @@ fn required_string(obj: &Map, member: &str) -> Result<String, RequestError> {
     })
 }
 
-/// Decodes a `[[w, h], ...]` dimension vector into a lenient [`Dims`]
-/// (wire values are validated against the addressed structure later, in
-/// the server, where arity and bounds are known).
+/// Decodes a `[[w, h], ...]` dimension vector into a validated
+/// [`Dims`]. Structure-independent validation happens right here at the
+/// trust boundary — an empty vector is a typed `bad_arity`, a zero or
+/// negative width/height a typed `out_of_bounds` — so no unchecked
+/// wire data ever reaches a `Dims`. Structure-*specific* checks (arity
+/// against the block count, designer bounds) still happen in the
+/// server, where the addressed structure is known.
 fn dims_vector(value: Option<&Value>, member: &str) -> Result<Dims, RequestError> {
     let value = value.ok_or_else(|| {
         RequestError::new(ErrorKind::Protocol, format!("missing `{member}` member"))
@@ -349,7 +378,25 @@ fn dims_vector(value: Option<&Value>, member: &str) -> Result<Dims, RequestError
             Ok((coord(&wh[0], "width")?, coord(&wh[1], "height")?))
         })
         .collect::<Result<Vec<(Coord, Coord)>, RequestError>>()
-        .map(Dims::from_vec_unchecked)
+        .and_then(|pairs| {
+            Dims::new(pairs).map_err(|e| match e {
+                DimsError::Empty => RequestError::new(
+                    ErrorKind::BadArity,
+                    format!("`{member}` holds no [w, h] pairs; no structure covers 0 blocks"),
+                ),
+                DimsError::NonPositive {
+                    block,
+                    width,
+                    height,
+                } => RequestError::new(
+                    ErrorKind::OutOfBounds,
+                    format!(
+                        "`{member}[{block}]` dimensions ({width}, {height}) are not positive \
+                         sizes; the smallest legal value is 1"
+                    ),
+                ),
+            })
+        })
 }
 
 /// Renders a `{"ok":false,"error":{...}}` response line (without the
@@ -423,16 +470,14 @@ mod tests {
                     Dims::from_vec_unchecked(vec![(1, 2)]),
                     Dims::from_vec_unchecked(vec![(3, 4)])
                 ],
+                binary: false,
             }
         );
-        // Negative values survive parsing: bounds rejection is the
-        // server's job (typed `out_of_bounds` / `id: null`), not the
-        // wire decoder's.
         assert_eq!(
-            parse_request(r#"{"kind":"instantiate","structure":"s","dims":[[-5,7]]}"#).unwrap(),
+            parse_request(r#"{"kind":"instantiate","structure":"s","dims":[[5,7]]}"#).unwrap(),
             Request::Instantiate {
                 structure: "s".into(),
-                dims: Dims::from_vec_unchecked(vec![(-5, 7)]),
+                dims: Dims::from_vec_unchecked(vec![(5, 7)]),
             }
         );
         assert_eq!(
@@ -518,6 +563,67 @@ mod tests {
             kind_of(r#"{"kind":"batch_query","structure":"s","dims_list":[7]}"#),
             ErrorKind::Protocol
         );
+    }
+
+    /// Regression: wire dims used to flow through
+    /// `Dims::from_vec_unchecked`, so empty and non-positive vectors
+    /// reached the query engine unvalidated. The decoder now routes
+    /// through the checked constructor and answers with the existing
+    /// typed errors.
+    #[test]
+    fn degenerate_dims_are_refused_at_the_trust_boundary() {
+        let err = |line: &str| parse_request(line).unwrap_err();
+        let empty = err(r#"{"kind":"query","structure":"s","dims":[]}"#);
+        assert_eq!(empty.kind, ErrorKind::BadArity);
+        assert!(empty.message.contains("`dims`"), "{empty}");
+        for (line, member) in [
+            (
+                r#"{"kind":"query","structure":"s","dims":[[1,2],[0,5]]}"#,
+                "`dims[1]`",
+            ),
+            (
+                r#"{"kind":"instantiate","structure":"s","dims":[[-5,7]]}"#,
+                "`dims[0]`",
+            ),
+            (
+                r#"{"kind":"batch_query","structure":"s","dims_list":[[[1,1]],[[3,-4]]]}"#,
+                "`dims_list[1][0]`",
+            ),
+        ] {
+            let e = err(line);
+            assert_eq!(e.kind, ErrorKind::OutOfBounds, "{line}");
+            assert!(e.message.contains(member), "{line}: {e}");
+        }
+        let empty_element = err(r#"{"kind":"batch_query","structure":"s","dims_list":[[]]}"#);
+        assert_eq!(empty_element.kind, ErrorKind::BadArity);
+        // Extreme-but-positive values still parse: designer-bounds
+        // rejection stays the server's job, where the structure is known.
+        assert!(parse_request(&format!(
+            r#"{{"kind":"query","structure":"s","dims":[[1,{}]]}}"#,
+            i64::MAX
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn encoding_member_is_parsed_and_validated() {
+        let batch = |suffix: &str| {
+            parse_request(&format!(
+                r#"{{"kind":"batch_query","structure":"s","dims_list":[[[1,2]]]{suffix}}}"#
+            ))
+        };
+        let binary_of = |req: Request| match req {
+            Request::BatchQuery { binary, .. } => binary,
+            other => panic!("expected a batch, got {other:?}"),
+        };
+        assert!(!binary_of(batch("").unwrap()), "absent defaults to JSON");
+        assert!(!binary_of(batch(r#","encoding":"json""#).unwrap()));
+        assert!(binary_of(batch(r#","encoding":"bin""#).unwrap()));
+        let unknown = batch(r#","encoding":"protobuf""#).unwrap_err();
+        assert_eq!(unknown.kind, ErrorKind::Protocol);
+        assert!(unknown.message.contains("protobuf"), "{unknown}");
+        let ill_typed = batch(r#","encoding":7"#).unwrap_err();
+        assert_eq!(ill_typed.kind, ErrorKind::Protocol);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The structure registry: persisted `mps-v1` artifacts loaded from a
-//! directory, compiled, and hot-swapped behind an `Arc`.
+//! The structure registry: persisted artifacts (`mps-v1` JSON or
+//! `mps-v2` binary, freely mixed in one directory) loaded, compiled, and
+//! hot-swapped behind an `Arc`.
 //!
 //! Serving follows the paper's *generate once, use everywhere* economics:
 //! structures are generated (and `--save`d) elsewhere; the serving
@@ -107,9 +108,11 @@ pub struct ServedStructure {
 }
 
 impl ServedStructure {
-    /// Loads an `mps-v1` artifact, re-validating every invariant, and
-    /// compiles its query index, cross-checking the compiled plan against
-    /// the interpretive path before the structure is ever served.
+    /// Loads an artifact in either persisted format (`mps-v1` JSON or
+    /// `mps-v2` binary, auto-detected by content), re-validating every
+    /// invariant, and compiles its query index, cross-checking the
+    /// compiled plan against the interpretive path before the structure
+    /// is ever served.
     ///
     /// # Errors
     ///
@@ -119,7 +122,7 @@ impl ServedStructure {
     pub fn open(name: impl Into<String>, path: impl Into<PathBuf>) -> Result<Self, ServeError> {
         let path = path.into();
         let structure =
-            MultiPlacementStructure::load_json(&path).map_err(|source| ServeError::Load {
+            MultiPlacementStructure::load_auto(&path).map_err(|source| ServeError::Load {
                 path: path.clone(),
                 source,
             })?;
@@ -354,7 +357,11 @@ fn scan_dir(dir: &Path) -> Result<HashMap<String, Arc<ServedStructure>>, ServeEr
     let mut map = HashMap::new();
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
-        if !path.is_file() || path.extension().is_none_or(|e| e != "json") {
+        // A directory may mix formats freely: `.json` carries the mps-v1
+        // envelope, `.mpsb` the mps-v2 binary artifact. The loader
+        // dispatches on file *content* (magic sniff), so a mislabeled
+        // file fails validation instead of being skipped silently.
+        if !path.is_file() || path.extension().is_none_or(|e| e != "json" && e != "mpsb") {
             continue;
         }
         let stem = path
@@ -455,6 +462,46 @@ mod tests {
         let err = StructureRegistry::open(&dir).unwrap_err();
         assert!(matches!(err, ServeError::DuplicateName { .. }), "{err}");
         assert!(err.to_string().contains("alpha"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mixed_format_directory_serves_both_and_answers_identically() {
+        let dir = temp_dir("mixed");
+        let alpha = tiny_structure(11);
+        let beta = tiny_structure(12);
+        alpha.save_json(dir.join("alpha.mps.json")).unwrap();
+        beta.save_bin(dir.join("beta.mpsb")).unwrap();
+        let registry = StructureRegistry::open(&dir).unwrap();
+        assert_eq!(registry.names(), vec!["alpha", "beta"]);
+        // The binary-loaded structure answers exactly like its in-memory
+        // original.
+        let dims = benchmarks::circ01().min_dims();
+        let served_beta = registry.get("beta").unwrap();
+        assert_eq!(served_beta.structure().query(&dims), beta.query(&dims));
+        assert_eq!(served_beta.structure().to_json(), beta.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cross_format_name_collision_is_refused() {
+        let dir = temp_dir("xcollide");
+        tiny_structure(13)
+            .save_json(dir.join("alpha.mps.json"))
+            .unwrap();
+        tiny_structure(14).save_bin(dir.join("alpha.mpsb")).unwrap();
+        let err = StructureRegistry::open(&dir).unwrap_err();
+        assert!(matches!(err, ServeError::DuplicateName { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_binary_artifact_is_refused() {
+        let dir = temp_dir("truncbin");
+        let bytes = tiny_structure(15).to_bin();
+        std::fs::write(dir.join("cut.mpsb"), &bytes[..bytes.len() / 2]).unwrap();
+        let err = StructureRegistry::open(&dir).unwrap_err();
+        assert!(matches!(err, ServeError::Load { .. }), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -42,12 +42,21 @@ const PARALLEL_BATCH_THRESHOLD: usize = 256;
 /// than this cost more in handoff than the queries they carry.
 const MIN_FANOUT_CHUNK: usize = 64;
 
-/// How one rendered response line leaves a heavy (pooled) request: the
-/// shard event loop hands completions back to the owning shard's inbox;
-/// the pipelined pump writes them straight to the connection writer.
+/// How one rendered reply leaves a heavy (pooled) request: the shard
+/// event loop hands completions back to the owning shard's inbox; the
+/// pipelined pump writes them straight to the connection writer.
 /// [`Server::submit_heavy`] guarantees exactly one invocation per
 /// submitted request, panics included.
-pub(crate) type ResponseSink = Arc<dyn Fn(String) + Send + Sync>;
+pub(crate) type ResponseSink = Arc<dyn Fn(Reply) + Send + Sync>;
+
+/// One fully rendered response, ready for the wire: a JSON line (the
+/// writer appends the `\n`) or a self-delimiting binary frame (see
+/// [`crate::frame`]) for requests that opted in with `"encoding":"bin"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Reply {
+    Line(String),
+    Frame(Vec<u8>),
+}
 
 /// Construction knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -139,12 +148,13 @@ impl Drop for OpenConnGuard {
     }
 }
 
-/// A successful dispatch: either a response object still to render, or
-/// a cached line replayed verbatim (byte-identical to the render that
-/// produced it).
+/// A successful dispatch: a response object still to render, a cached
+/// line replayed verbatim (byte-identical to the render that produced
+/// it), or an already-encoded binary frame awaiting its request tag.
 enum Outcome {
     Map(Map),
     Rendered(String),
+    Frame(Vec<u8>),
 }
 
 /// In-flight counter for one pipelined connection, so EOF can drain
@@ -179,11 +189,21 @@ impl Pending {
     }
 }
 
-fn write_line<W: Write>(writer: &Mutex<W>, line: &str) -> std::io::Result<()> {
-    let mut writer = lock_recover(writer);
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
+fn write_reply_to<W: Write>(writer: &mut W, reply: &Reply) -> std::io::Result<()> {
+    match reply {
+        Reply::Line(line) => {
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        // Frames are self-delimiting (length-prefixed header); no
+        // terminator goes on the wire.
+        Reply::Frame(frame) => writer.write_all(frame)?,
+    }
     writer.flush()
+}
+
+fn write_reply<W: Write>(writer: &Mutex<W>, reply: &Reply) -> std::io::Result<()> {
+    write_reply_to(&mut *lock_recover(writer), reply)
 }
 
 /// The query-serving engine: a registry snapshot discipline on the read
@@ -286,24 +306,33 @@ impl Server {
     /// Answers one protocol line with no connection context (each call
     /// is its own one-request connection). Returns `None` for blank
     /// lines (no response is written for them); every non-blank line
-    /// gets exactly one response line, errors included.
+    /// gets exactly one response line, errors included. This
+    /// convenience path answers in JSON only: the `"encoding":"bin"`
+    /// frame opt-in is a transport feature of the streaming pumps
+    /// (`serve`, `serve_pipelined`, `serve_tcp`) and is ignored here.
     #[must_use]
     pub fn handle_line(&self, line: &str) -> Option<String> {
         let state = ConnState::default();
-        self.handle_line_on(&state, line, false)
-    }
-
-    /// Answers one line under a connection's framing state.
-    fn handle_line_on(
-        &self,
-        state: &ConnState,
-        line: &str,
-        on_pool_worker: bool,
-    ) -> Option<String> {
-        match self.admit(state, line) {
+        match self.admit(&state, line) {
             Admitted::Blank => None,
             Admitted::Reply(response) => Some(response),
-            Admitted::Run { id, request } => Some(self.complete(id, request, on_pool_worker)),
+            Admitted::Run { id, mut request } => {
+                if let Request::BatchQuery { binary, .. } = &mut request {
+                    *binary = false;
+                }
+                match self.complete(id, request, false) {
+                    Reply::Line(line) => Some(line),
+                    // Unreachable — the flag was cleared above — but
+                    // stay total rather than panic on a future kind.
+                    Reply::Frame(_) => Some(tagged_error_response(
+                        id,
+                        &RequestError::new(
+                            ErrorKind::Internal,
+                            "binary reply on the JSON-only convenience path",
+                        ),
+                    )),
+                }
+            }
         }
     }
 
@@ -368,14 +397,16 @@ impl Server {
         }
     }
 
-    /// Dispatches an admitted request and renders its response line,
-    /// echoing the request id as `req` on tagged requests.
+    /// Dispatches an admitted request and renders its reply (a JSON
+    /// line, or a binary frame for batches that opted in), echoing the
+    /// request id as `req` on tagged requests. Errors are always JSON
+    /// lines, whatever encoding the request asked for.
     pub(crate) fn complete(
         &self,
         id: Option<u64>,
         request: Request,
         on_pool_worker: bool,
-    ) -> String {
+    ) -> Reply {
         // A handler bug must cost one error response, not the server.
         let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(request, on_pool_worker)))
             .unwrap_or_else(|_| {
@@ -389,18 +420,25 @@ impl Server {
                 if let Some(id) = id {
                     map.insert("req", id.to_value());
                 }
-                crate::protocol::render(map)
+                Reply::Line(crate::protocol::render(map))
             }
-            Ok(Outcome::Rendered(line)) => match id {
+            Ok(Outcome::Rendered(line)) => Reply::Line(match id {
                 None => line,
                 // Splice the tag into the cached line: `{"req":N,` +
                 // everything after the opening brace. Member order is
                 // irrelevant in JSON; the payload bytes stay verbatim.
                 Some(id) => format!("{{\"req\":{id},{}", &line[1..]),
-            },
+            }),
+            Ok(Outcome::Frame(mut frame)) => {
+                if let Some(id) = id {
+                    // The binary analogue of the JSON tag splice.
+                    crate::frame::tag_frame(&mut frame, id);
+                }
+                Reply::Frame(frame)
+            }
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
-                tagged_error_response(id, &e)
+                Reply::Line(tagged_error_response(id, &e))
             }
         }
     }
@@ -416,11 +454,12 @@ impl Server {
         let state = ConnState::default();
         for line in reader.lines() {
             let line = line?;
-            if let Some(response) = self.handle_line_on(&state, &line, false) {
-                writer.write_all(response.as_bytes())?;
-                writer.write_all(b"\n")?;
-                writer.flush()?;
-            }
+            let reply = match self.admit(&state, &line) {
+                Admitted::Blank => continue,
+                Admitted::Reply(response) => Reply::Line(response),
+                Admitted::Run { id, request } => self.complete(id, request, false),
+            };
+            write_reply_to(&mut writer, &reply)?;
         }
         Ok(())
     }
@@ -459,17 +498,17 @@ impl Server {
             };
             let outcome = match self.admit(&state, &line) {
                 Admitted::Blank => Ok(()),
-                Admitted::Reply(response) => write_line(&writer, &response),
+                Admitted::Reply(response) => write_reply(&writer, &Reply::Line(response)),
                 Admitted::Run { id: None, request } => {
-                    let response = self.complete(None, request, false);
-                    write_line(&writer, &response)
+                    let reply = self.complete(None, request, false);
+                    write_reply(&writer, &reply)
                 }
                 Admitted::Run {
                     id: Some(id),
                     request,
                 } if !self.is_heavy(&request) => {
-                    let response = self.complete(Some(id), request, false);
-                    write_line(&writer, &response)
+                    let reply = self.complete(Some(id), request, false);
+                    write_reply(&writer, &reply)
                 }
                 Admitted::Run {
                     id: Some(id),
@@ -481,8 +520,8 @@ impl Server {
                     // submit_heavy invokes the sink exactly once on
                     // every path, panics included — the EOF drain can
                     // never be left waiting forever.
-                    let sink: ResponseSink = Arc::new(move |response: String| {
-                        let _ = write_line(&writer, &response);
+                    let sink: ResponseSink = Arc::new(move |reply: Reply| {
+                        let _ = write_reply(&writer, &reply);
                         pending.end();
                     });
                     self.submit_heavy(id, request, sink);
@@ -607,8 +646,9 @@ impl Server {
             Request::BatchQuery {
                 structure,
                 dims_list,
+                binary,
             } if dims_list.len() >= PARALLEL_BATCH_THRESHOLD && self.pool.workers() > 1 => {
-                self.fan_out_batch(id, structure, dims_list, sink);
+                self.fan_out_batch(id, structure, dims_list, binary, sink);
             }
             request => {
                 let server = Arc::clone(self);
@@ -620,32 +660,32 @@ impl Server {
                     struct DeliverOnDrop {
                         sink: ResponseSink,
                         id: u64,
-                        line: Option<String>,
+                        reply: Option<Reply>,
                     }
                     impl Drop for DeliverOnDrop {
                         fn drop(&mut self) {
-                            let line = self.line.take().unwrap_or_else(|| {
-                                tagged_error_response(
+                            let reply = self.reply.take().unwrap_or_else(|| {
+                                Reply::Line(tagged_error_response(
                                     Some(self.id),
                                     &RequestError::new(
                                         ErrorKind::Internal,
                                         "request handler panicked; the server keeps serving",
                                     ),
-                                )
+                                ))
                             });
                             // A second panic while already unwinding
                             // would abort the process; the sinks only
                             // move bytes behind recovered locks, but
                             // stay paranoid.
-                            let _ = catch_unwind(AssertUnwindSafe(|| (self.sink)(line)));
+                            let _ = catch_unwind(AssertUnwindSafe(|| (self.sink)(reply)));
                         }
                     }
                     let mut delivery = DeliverOnDrop {
                         sink,
                         id,
-                        line: None,
+                        reply: None,
                     };
-                    delivery.line = Some(server.complete(Some(id), request, true));
+                    delivery.reply = Some(server.complete(Some(id), request, true));
                 });
             }
         }
@@ -662,6 +702,7 @@ impl Server {
         id: u64,
         structure: String,
         dims_list: Vec<Dims>,
+        binary: bool,
         sink: ResponseSink,
     ) {
         let validated = self.lookup(&structure).and_then(|served| {
@@ -674,7 +715,8 @@ impl Server {
             Ok(served) => served,
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
-                sink(tagged_error_response(Some(id), &e));
+                // Errors are JSON lines even for binary-opted requests.
+                sink(Reply::Line(tagged_error_response(Some(id), &e)));
                 return;
             }
         };
@@ -690,6 +732,7 @@ impl Server {
             server: Arc::clone(self),
             id,
             structure,
+            binary,
             slots: Mutex::new(vec![None; chunks.len()]),
             remaining: AtomicUsize::new(chunks.len()),
             sink,
@@ -754,6 +797,7 @@ impl Server {
             Request::BatchQuery {
                 structure,
                 dims_list,
+                binary,
             } => {
                 let served = self.lookup(&structure)?;
                 for dims in &dims_list {
@@ -763,6 +807,11 @@ impl Server {
                     .fetch_add(dims_list.len() as u64, Ordering::Relaxed);
                 self.count_structure(&structure, dims_list.len() as u64);
                 let ids = self.batch_ids(&served, dims_list, on_pool_worker)?;
+                if binary {
+                    // The request tag is patched in by complete(),
+                    // exactly like the JSON splice.
+                    return Ok(Outcome::Frame(crate::frame::encode_batch_ids(None, &ids)));
+                }
                 let mut map = ok_header("batch_query");
                 map.insert("structure", Value::String(structure));
                 map.insert("ids", Value::Array(ids.into_iter().map(id_value).collect()));
@@ -1043,6 +1092,8 @@ struct Fanout {
     server: Arc<Server>,
     id: u64,
     structure: String,
+    /// Deliver the answer as a binary frame (`"encoding":"bin"`).
+    binary: bool,
     slots: Mutex<Vec<Option<Vec<Option<PlacementId>>>>>,
     remaining: AtomicUsize,
     sink: ResponseSink,
@@ -1054,41 +1105,43 @@ impl Fanout {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
             return;
         }
-        let line = catch_unwind(AssertUnwindSafe(|| self.assemble()))
+        let reply = catch_unwind(AssertUnwindSafe(|| self.assemble()))
             .unwrap_or_else(|_| self.internal_error());
         // This can run inside another panic's unwind (the FinishGuard),
         // where a second panic would abort the process — so the sink
         // call is shielded even though the sinks only move bytes.
-        let _ = catch_unwind(AssertUnwindSafe(|| (self.sink)(line)));
+        let _ = catch_unwind(AssertUnwindSafe(|| (self.sink)(reply)));
     }
 
-    fn assemble(&self) -> String {
+    fn assemble(&self) -> Reply {
         let slots = std::mem::take(&mut *lock_recover(&self.slots));
         if slots.iter().any(Option::is_none) {
             return self.internal_error();
         }
-        let ids: Vec<Value> = slots
+        let ids: Vec<Option<PlacementId>> = slots
             .into_iter()
             .flatten() // unwrap each filled slot
             .flatten() // splice the chunks back into one id stream
-            .map(id_value)
             .collect();
+        if self.binary {
+            return Reply::Frame(crate::frame::encode_batch_ids(Some(self.id), &ids));
+        }
         let mut map = ok_header("batch_query");
         map.insert("structure", Value::String(self.structure.clone()));
-        map.insert("ids", Value::Array(ids));
+        map.insert("ids", Value::Array(ids.into_iter().map(id_value).collect()));
         map.insert("req", self.id.to_value());
-        crate::protocol::render(map)
+        Reply::Line(crate::protocol::render(map))
     }
 
-    fn internal_error(&self) -> String {
+    fn internal_error(&self) -> Reply {
         self.server.errors.fetch_add(1, Ordering::Relaxed);
-        tagged_error_response(
+        Reply::Line(tagged_error_response(
             Some(self.id),
             &RequestError::new(
                 ErrorKind::Internal,
                 "batch worker panicked; the server keeps serving",
             ),
-        )
+        ))
     }
 }
 
@@ -1618,6 +1671,140 @@ mod tests {
         line.clear();
         plain_reader.read_line(&mut line).unwrap();
         assert!(line.contains("circ01"), "untagged answer: {line}");
+    }
+
+    /// `"encoding":"bin"`: the sequential pump answers a batch with a
+    /// binary frame, leaves JSON requests on the same stream untouched,
+    /// and splices the request tag into the frame header.
+    #[test]
+    fn binary_batch_answers_with_a_frame_on_the_stream_pumps() {
+        let server = test_server();
+        let served = server.registry().get("circ01").unwrap();
+        let dims = midpoint_dims(&server);
+        let pairs: Vec<String> = dims.iter().map(|(w, h)| format!("[{w},{h}]")).collect();
+        let dims_json = format!("[{}]", pairs.join(","));
+        let input = format!(
+            "{{\"kind\":\"batch_query\",\"structure\":\"circ01\",\"dims_list\":[{dims_json},{dims_json}],\
+             \"encoding\":\"bin\"}}\n\
+             {{\"kind\":\"stats\"}}\n"
+        );
+        let mut output = Vec::new();
+        server.serve(input.as_bytes(), &mut output).unwrap();
+        assert_eq!(&output[..4], b"MPSF", "the batch answer is a frame");
+        let payload_len = u32::from_le_bytes(output[16..20].try_into().unwrap()) as usize;
+        let frame_len = crate::frame::HEADER_LEN + payload_len;
+        let (req, ids) = crate::frame::decode_batch_ids(&output[..frame_len]).unwrap();
+        assert_eq!(req, None, "untagged request, untagged frame");
+        let expected = served.structure().query(&dims);
+        assert_eq!(ids, vec![expected, expected]);
+        // The JSON response right after the frame is undisturbed.
+        let rest = std::str::from_utf8(&output[frame_len..]).unwrap();
+        assert!(
+            rest.starts_with('{') && rest.contains("\"kind\":\"stats\""),
+            "{rest}"
+        );
+
+        // Tagged: the tag lands in the frame header, not a JSON member.
+        let mut output = Vec::new();
+        let tagged = format!(
+            "{{\"id\":3,\"kind\":\"batch_query\",\"structure\":\"circ01\",\
+             \"dims_list\":[{dims_json}],\"encoding\":\"bin\"}}\n"
+        );
+        server.serve(tagged.as_bytes(), &mut output).unwrap();
+        let (req, ids) = crate::frame::decode_batch_ids(&output).unwrap();
+        assert_eq!(req, Some(3));
+        assert_eq!(ids, vec![expected]);
+
+        // handle_line is the JSON-only convenience path: same request,
+        // JSON answer.
+        let line = server
+            .handle_line(&format!(
+                "{{\"kind\":\"batch_query\",\"structure\":\"circ01\",\
+                 \"dims_list\":[{dims_json}],\"encoding\":\"bin\"}}"
+            ))
+            .unwrap();
+        let value = parse(&line);
+        assert_eq!(value.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    /// A binary batch big enough to fan out over the worker pool comes
+    /// back as one frame through the shard completion path, with ids in
+    /// request order — exercised end-to-end over TCP.
+    #[test]
+    fn binary_batch_fans_out_and_frames_over_tcp() {
+        let server = Arc::new(Server::with_config(
+            {
+                let circuit = benchmarks::circ01();
+                let config = GeneratorConfig::builder()
+                    .outer_iterations(30)
+                    .inner_iterations(30)
+                    .seed(14)
+                    .build();
+                let mps = MpsGenerator::new(&circuit, config).generate().unwrap();
+                let registry = StructureRegistry::in_memory();
+                registry.publish(ServedStructure::from_structure("circ01", mps));
+                Arc::new(registry)
+            },
+            ServerConfig {
+                workers: 2,
+                shards: 1,
+                ..ServerConfig::default()
+            },
+        ));
+        let served = server.registry().get("circ01").unwrap();
+        let bounds = served.structure().bounds().to_vec();
+        let vector = |k: usize| -> Dims {
+            bounds
+                .iter()
+                .map(|b| {
+                    (
+                        b.w.lo() + (k as mps_geom::Coord * 5) % (b.w.len() as mps_geom::Coord),
+                        b.h.lo() + (k as mps_geom::Coord * 9) % (b.h.len() as mps_geom::Coord),
+                    )
+                })
+                .collect()
+        };
+        let batch: Vec<Dims> = (0..PARALLEL_BATCH_THRESHOLD + 30).map(vector).collect();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept_server = Arc::clone(&server);
+        std::thread::spawn(move || accept_server.serve_tcp(listener));
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let dims_json: Vec<String> = batch
+            .iter()
+            .map(|dims| {
+                let pairs: Vec<String> = dims.iter().map(|(w, h)| format!("[{w},{h}]")).collect();
+                format!("[{}]", pairs.join(","))
+            })
+            .collect();
+        client
+            .write_all(
+                format!(
+                    "{{\"id\":7,\"kind\":\"batch_query\",\"structure\":\"circ01\",\
+                     \"dims_list\":[{}],\"encoding\":\"bin\"}}\n",
+                    dims_json.join(",")
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        use std::io::Read as _;
+        let mut header = [0u8; crate::frame::HEADER_LEN];
+        client.read_exact(&mut header).unwrap();
+        assert_eq!(&header[..4], b"MPSF");
+        let payload_len = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
+        let mut frame = header.to_vec();
+        frame.resize(crate::frame::HEADER_LEN + payload_len, 0);
+        client
+            .read_exact(&mut frame[crate::frame::HEADER_LEN..])
+            .unwrap();
+        let (req, ids) = crate::frame::decode_batch_ids(&frame).unwrap();
+        assert_eq!(req, Some(7));
+        assert_eq!(
+            ids,
+            served.structure().query_batch(&batch),
+            "the fanned-out frame must carry ids in request order"
+        );
     }
 
     #[test]

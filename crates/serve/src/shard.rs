@@ -25,7 +25,7 @@
 
 use crate::lock_recover;
 use crate::protocol::{tagged_error_response, ErrorKind, RequestError};
-use crate::server::{Admitted, ConnState, OpenConnGuard, ResponseSink, Server};
+use crate::server::{Admitted, ConnState, OpenConnGuard, Reply, ResponseSink, Server};
 use netpoll::{raw_fd, Interest, Poller, WAKE_TOKEN};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -100,8 +100,9 @@ struct Shard {
 struct Inbox {
     /// Connections accepted but not yet owned by the shard loop.
     joins: Vec<(TcpStream, OpenConnGuard)>,
-    /// Rendered response lines from pooled heavy requests, by token.
-    completions: Vec<(usize, String)>,
+    /// Rendered replies (JSON lines or binary frames) from pooled heavy
+    /// requests, by token.
+    completions: Vec<(usize, Reply)>,
 }
 
 /// What [`Conn::finalize`] decided about the connection's future.
@@ -195,17 +196,15 @@ impl Conn {
             } if server.is_heavy(&request) => {
                 self.pending += 1;
                 let shard = Arc::clone(shard);
-                let sink: ResponseSink = Arc::new(move |response: String| {
-                    lock_recover(&shard.inbox)
-                        .completions
-                        .push((token, response));
+                let sink: ResponseSink = Arc::new(move |reply: Reply| {
+                    lock_recover(&shard.inbox).completions.push((token, reply));
                     let _ = shard.poller.wake();
                 });
                 server.submit_heavy(id, request, sink);
             }
             Admitted::Run { id, request } => {
-                let response = server.complete(id, request, false);
-                self.out.push_line(&response);
+                let reply = server.complete(id, request, false);
+                self.out.push_reply(&reply);
             }
         }
     }
@@ -294,14 +293,14 @@ fn shard_loop(server: &Arc<Server>, shard: &Arc<Shard>) {
                 conns.insert(token, conn);
             }
         }
-        for (token, response) in completions {
+        for (token, reply) in completions {
             // A completion for a connection that died while its request
             // was in the pool is discarded: there is no one to answer.
             let Some(conn) = conns.get_mut(&token) else {
                 continue;
             };
             conn.pending -= 1;
-            conn.out.push_line(&response);
+            conn.out.push_reply(&reply);
             if conn.finalize(&shard.poller, token) == ConnFate::Closed {
                 remove_conn(&shard.poller, &mut conns, token);
             }
@@ -412,6 +411,15 @@ impl SendBuffer {
     fn push_line(&mut self, line: &str) {
         self.buf.extend_from_slice(line.as_bytes());
         self.buf.push(b'\n');
+    }
+
+    /// Queues one reply: a newline-terminated JSON line, or a binary
+    /// frame's raw bytes (self-delimiting, no terminator).
+    fn push_reply(&mut self, reply: &Reply) {
+        match reply {
+            Reply::Line(line) => self.push_line(line),
+            Reply::Frame(frame) => self.buf.extend_from_slice(frame),
+        }
     }
 
     fn is_empty(&self) -> bool {

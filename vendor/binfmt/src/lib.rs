@@ -1,0 +1,588 @@
+//! Offline stand-in for a length-prefixed binary codec crate.
+//!
+//! The model is the one streaming circuit writers use (ckt-style): a
+//! file or frame starts with a fixed 4-byte magic plus a `u16` format
+//! version, and the body is a sequence of primitive fields — little-
+//! endian fixed-width integers, IEEE-754 `f64` bit patterns, LEB128
+//! varints (zigzag for signed) — with every variable-length section
+//! prefixed by its element count. Encoding streams into any
+//! [`std::io::Write`]; decoding streams out of any [`std::io::Read`]
+//! and **never trusts a length**: every count is checked against a
+//! caller-supplied cap before a single byte is allocated, so a
+//! truncated or hostile artifact fails with a typed [`Error`], not an
+//! OOM.
+//!
+//! Types opt in by implementing [`Encode`] and [`Decode`]. The trait
+//! impls live next to the types they serialize (exactly like the
+//! vendored `serde` subset) so invariant-preserving constructors stay
+//! private to their crates.
+//!
+//! ```
+//! use binfmt::{Decoder, Encoder};
+//!
+//! let mut buf = Vec::new();
+//! let mut enc = Encoder::new(&mut buf);
+//! enc.magic(*b"DEMO", 1).unwrap();
+//! enc.varint(300).unwrap();
+//! enc.zigzag(-7).unwrap();
+//! enc.f64(1.5).unwrap();
+//!
+//! let mut dec = Decoder::new(buf.as_slice());
+//! assert_eq!(dec.magic(*b"DEMO").unwrap(), 1);
+//! assert_eq!(dec.varint().unwrap(), 300);
+//! assert_eq!(dec.zigzag().unwrap(), -7);
+//! assert_eq!(dec.f64().unwrap(), 1.5);
+//! dec.finish().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Longest LEB128 encoding of a `u64`: ceil(64 / 7) bytes.
+const MAX_VARINT_BYTES: usize = 10;
+
+/// A typed decode failure. Encoding only fails with [`std::io::Error`]
+/// (the encoder never inspects values); decoding distinguishes
+/// truncation, malformed content, and transport errors so callers can
+/// report "file is cut short" differently from "file is lying".
+#[derive(Debug)]
+pub enum Error {
+    /// The input ended in the middle of a field.
+    Eof,
+    /// The bytes decoded, but the content violates the format: bad
+    /// magic, unsupported version, over-long varint, a count beyond
+    /// the caller's cap, trailing garbage, ...
+    Malformed(String),
+    /// The underlying reader failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Eof => write!(f, "unexpected end of input"),
+            Error::Malformed(msg) => write!(f, "malformed input: {msg}"),
+            Error::Io(e) => write!(f, "read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            Error::Eof
+        } else {
+            Error::Io(e)
+        }
+    }
+}
+
+/// Shorthand for a malformed-input error.
+pub fn malformed(msg: impl Into<String>) -> Error {
+    Error::Malformed(msg.into())
+}
+
+/// A type that knows how to write itself through an [`Encoder`].
+pub trait Encode {
+    /// Append this value's encoding to `enc`.
+    fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()>;
+}
+
+/// A type that knows how to read itself back through a [`Decoder`],
+/// re-validating every invariant the in-memory type guarantees.
+pub trait Decode: Sized {
+    /// Decode one value, consuming exactly its encoding.
+    fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error>;
+}
+
+/// Streaming writer of binfmt primitives over any [`Write`].
+pub struct Encoder<W: Write> {
+    out: W,
+}
+
+impl<W: Write> Encoder<W> {
+    /// Wrap a sink.
+    pub fn new(out: W) -> Self {
+        Encoder { out }
+    }
+
+    /// Write a 4-byte magic followed by a little-endian `u16` version.
+    pub fn magic(&mut self, magic: [u8; 4], version: u16) -> std::io::Result<()> {
+        self.out.write_all(&magic)?;
+        self.u16(version)
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) -> std::io::Result<()> {
+        self.out.write_all(&[v])
+    }
+
+    /// Write a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> std::io::Result<()> {
+        self.out.write_all(&v.to_le_bytes())
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> std::io::Result<()> {
+        self.out.write_all(&v.to_le_bytes())
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> std::io::Result<()> {
+        self.out.write_all(&v.to_le_bytes())
+    }
+
+    /// Write an `f64` as its little-endian IEEE-754 bit pattern.
+    /// Unlike JSON this is lossless and total: `NaN` and the
+    /// infinities round-trip bit-exactly.
+    pub fn f64(&mut self, v: f64) -> std::io::Result<()> {
+        self.out.write_all(&v.to_bits().to_le_bytes())
+    }
+
+    /// Write a LEB128 varint: 7 value bits per byte, high bit set on
+    /// every byte but the last. Small counts cost one byte.
+    pub fn varint(&mut self, mut v: u64) -> std::io::Result<()> {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                return self.u8(byte);
+            }
+            self.u8(byte | 0x80)?;
+        }
+    }
+
+    /// Write a signed value as a zigzag-mapped varint, so small
+    /// magnitudes of either sign stay short.
+    pub fn zigzag(&mut self, v: i64) -> std::io::Result<()> {
+        self.varint(((v << 1) ^ (v >> 63)) as u64)
+    }
+
+    /// Write a varint-length-prefixed byte section.
+    pub fn bytes(&mut self, v: &[u8]) -> std::io::Result<()> {
+        self.varint(v.len() as u64)?;
+        self.out.write_all(v)
+    }
+
+    /// Write a varint-length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> std::io::Result<()> {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Write an optional value: a one-byte presence tag, then the
+    /// value when present.
+    pub fn option<T: Encode>(&mut self, v: Option<&T>) -> std::io::Result<()> {
+        match v {
+            None => self.u8(0),
+            Some(inner) => {
+                self.u8(1)?;
+                inner.encode(self)
+            }
+        }
+    }
+
+    /// Write a varint-count-prefixed sequence.
+    pub fn seq<T: Encode>(&mut self, items: &[T]) -> std::io::Result<()> {
+        self.varint(items.len() as u64)?;
+        for item in items {
+            item.encode(self)?;
+        }
+        Ok(())
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Unwrap the sink.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+/// Streaming reader of binfmt primitives over any [`Read`].
+///
+/// Every count-consuming method takes a cap; a decoded count beyond
+/// it is refused *before* allocation. Caps are per-field sanity bounds
+/// ("a circuit has at most a million blocks"), not a parser budget.
+pub struct Decoder<R: Read> {
+    inp: R,
+}
+
+impl<R: Read> Decoder<R> {
+    /// Wrap a source.
+    pub fn new(inp: R) -> Self {
+        Decoder { inp }
+    }
+
+    /// Read and verify a 4-byte magic; return the `u16` version that
+    /// follows. Wrong magic is [`Error::Malformed`], so "this is not
+    /// even our format" is distinguishable from a version skew.
+    pub fn magic(&mut self, expect: [u8; 4]) -> Result<u16, Error> {
+        let mut got = [0u8; 4];
+        self.inp.read_exact(&mut got)?;
+        if got != expect {
+            return Err(malformed(format!(
+                "bad magic: expected {:?}, found {:?}",
+                DisplayMagic(expect),
+                DisplayMagic(got)
+            )));
+        }
+        self.u16()
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, Error> {
+        let mut b = [0u8; 1];
+        self.inp.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, Error> {
+        let mut b = [0u8; 2];
+        self.inp.read_exact(&mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, Error> {
+        let mut b = [0u8; 4];
+        self.inp.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, Error> {
+        let mut b = [0u8; 8];
+        self.inp.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, Error> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a LEB128 varint. Encodings longer than ten bytes, and
+    /// ten-byte encodings whose final byte overflows 64 bits, are
+    /// malformed — every value has exactly one accepted encoding
+    /// length ceiling.
+    pub fn varint(&mut self) -> Result<u64, Error> {
+        let mut v: u64 = 0;
+        for i in 0..MAX_VARINT_BYTES {
+            let byte = self.u8()?;
+            let bits = (byte & 0x7f) as u64;
+            if i == MAX_VARINT_BYTES - 1 && bits > 1 {
+                return Err(malformed("varint overflows u64"));
+            }
+            v |= bits << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(malformed("varint longer than 10 bytes"))
+    }
+
+    /// Read a zigzag-mapped varint back to a signed value.
+    pub fn zigzag(&mut self) -> Result<i64, Error> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// Read a varint count and check it against `max` before any
+    /// allocation happens.
+    pub fn len(&mut self, max: usize, what: &str) -> Result<usize, Error> {
+        let n = self.varint()?;
+        if n > max as u64 {
+            return Err(malformed(format!("{what} count {n} exceeds cap {max}")));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read a varint-length-prefixed byte section, capped at `max`.
+    pub fn bytes(&mut self, max: usize, what: &str) -> Result<Vec<u8>, Error> {
+        let n = self.len(max, what)?;
+        let mut buf = vec![0u8; n];
+        self.inp.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Read a varint-length-prefixed UTF-8 string, capped at `max`
+    /// bytes.
+    pub fn str(&mut self, max: usize, what: &str) -> Result<String, Error> {
+        let raw = self.bytes(max, what)?;
+        String::from_utf8(raw).map_err(|_| malformed(format!("{what} is not valid UTF-8")))
+    }
+
+    /// Read an optional value written by [`Encoder::option`].
+    pub fn option<T: Decode>(&mut self) -> Result<Option<T>, Error> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(self)?)),
+            tag => Err(malformed(format!("option tag must be 0 or 1, found {tag}"))),
+        }
+    }
+
+    /// Read a varint-count-prefixed sequence, capped at `max`
+    /// elements.
+    pub fn seq<T: Decode>(&mut self, max: usize, what: &str) -> Result<Vec<T>, Error> {
+        let n = self.len(max, what)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(T::decode(self)?);
+        }
+        Ok(items)
+    }
+
+    /// Assert the input is exhausted. Trailing bytes after a complete
+    /// decode mean the artifact is not what it claims to be.
+    pub fn finish(mut self) -> Result<(), Error> {
+        let mut probe = [0u8; 1];
+        match self.inp.read(&mut probe) {
+            Ok(0) => Ok(()),
+            Ok(_) => Err(malformed("trailing bytes after the final section")),
+            Err(e) => Err(Error::Io(e)),
+        }
+    }
+
+    /// Unwrap the source (for callers that frame their own tail).
+    pub fn into_inner(self) -> R {
+        self.inp
+    }
+}
+
+/// Render a magic as ASCII-ish for error messages.
+struct DisplayMagic([u8; 4]);
+
+impl fmt::Debug for DisplayMagic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"")?;
+        for &b in &self.0 {
+            if b.is_ascii_graphic() {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(write: impl FnOnce(&mut Encoder<&mut Vec<u8>>)) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut enc = Encoder::new(&mut buf);
+        write(&mut enc);
+        buf
+    }
+
+    #[test]
+    fn fixed_width_ints_are_little_endian() {
+        let buf = roundtrip(|e| {
+            e.u16(0x0102).unwrap();
+            e.u32(0x0304_0506).unwrap();
+            e.u64(0x0708_090a_0b0c_0d0e).unwrap();
+        });
+        assert_eq!(
+            buf,
+            [2, 1, 6, 5, 4, 3, 0x0e, 0x0d, 0x0c, 0x0b, 0x0a, 0x09, 0x08, 0x07]
+        );
+    }
+
+    #[test]
+    fn varint_boundaries_roundtrip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let buf = roundtrip(|e| e.varint(v).unwrap());
+            let mut dec = Decoder::new(buf.as_slice());
+            assert_eq!(dec.varint().unwrap(), v, "value {v}");
+            dec.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_sizes_match_leb128() {
+        assert_eq!(roundtrip(|e| e.varint(127).unwrap()).len(), 1);
+        assert_eq!(roundtrip(|e| e.varint(128).unwrap()).len(), 2);
+        assert_eq!(roundtrip(|e| e.varint(u64::MAX).unwrap()).len(), 10);
+    }
+
+    #[test]
+    fn zigzag_roundtrips_both_signs() {
+        for v in [0i64, 1, -1, 2, -2, 63, -64, i64::MAX, i64::MIN] {
+            let buf = roundtrip(|e| e.zigzag(v).unwrap());
+            assert_eq!(Decoder::new(buf.as_slice()).zigzag().unwrap(), v);
+        }
+        // Small magnitudes stay short regardless of sign.
+        assert_eq!(roundtrip(|e| e.zigzag(-1).unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn overlong_varint_is_malformed() {
+        // Eleven continuation bytes: no terminating byte within the cap.
+        let buf = vec![0x80u8; 11];
+        assert!(matches!(
+            Decoder::new(buf.as_slice()).varint(),
+            Err(Error::Malformed(_))
+        ));
+        // Ten bytes whose final byte carries bits beyond 2^64.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        assert!(matches!(
+            Decoder::new(buf.as_slice()).varint(),
+            Err(Error::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn f64_roundtrips_bit_exactly_including_non_finite() {
+        for v in [
+            0.0f64,
+            -0.0,
+            1.5,
+            -1e300,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let buf = roundtrip(|e| e.f64(v).unwrap());
+            let back = Decoder::new(buf.as_slice()).f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn magic_and_version_roundtrip() {
+        let buf = roundtrip(|e| e.magic(*b"DEMO", 7).unwrap());
+        assert_eq!(Decoder::new(buf.as_slice()).magic(*b"DEMO").unwrap(), 7);
+        let err = Decoder::new(buf.as_slice()).magic(*b"ELSE").unwrap_err();
+        assert!(
+            matches!(err, Error::Malformed(ref m) if m.contains("bad magic")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncation_is_eof_not_io() {
+        let buf = roundtrip(|e| e.u64(42).unwrap());
+        assert!(matches!(Decoder::new(&buf[..3]).u64(), Err(Error::Eof)));
+    }
+
+    #[test]
+    fn string_and_bytes_respect_caps() {
+        let buf = roundtrip(|e| e.str("hello").unwrap());
+        let mut dec = Decoder::new(buf.as_slice());
+        assert_eq!(dec.str(16, "name").unwrap(), "hello");
+        dec.finish().unwrap();
+
+        let err = Decoder::new(buf.as_slice()).str(3, "name").unwrap_err();
+        assert!(
+            matches!(err, Error::Malformed(ref m) if m.contains("cap")),
+            "{err}"
+        );
+
+        let buf = roundtrip(|e| e.bytes(&[0xff, 0xfe]).unwrap());
+        let err = Decoder::new(buf.as_slice()).str(16, "name").unwrap_err();
+        assert!(
+            matches!(err, Error::Malformed(ref m) if m.contains("UTF-8")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn hostile_count_fails_before_allocation() {
+        // A section claiming u64::MAX elements must be refused by the
+        // cap check, not by the allocator.
+        let buf = roundtrip(|e| e.varint(u64::MAX).unwrap());
+        let err = Decoder::new(buf.as_slice()).len(1024, "rows").unwrap_err();
+        assert!(
+            matches!(err, Error::Malformed(ref m) if m.contains("cap")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn option_roundtrips_and_rejects_bad_tags() {
+        #[derive(Debug)]
+        struct V(u64);
+        impl Encode for V {
+            fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+                enc.varint(self.0)
+            }
+        }
+        impl Decode for V {
+            fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+                Ok(V(dec.varint()?))
+            }
+        }
+        let buf = roundtrip(|e| {
+            e.option(None::<&V>).unwrap();
+            e.option(Some(&V(9))).unwrap();
+        });
+        let mut dec = Decoder::new(buf.as_slice());
+        assert!(dec.option::<V>().unwrap().is_none());
+        assert_eq!(dec.option::<V>().unwrap().unwrap().0, 9);
+        dec.finish().unwrap();
+
+        let err = Decoder::new([2u8].as_slice()).option::<V>().unwrap_err();
+        assert!(matches!(err, Error::Malformed(_)));
+    }
+
+    #[test]
+    fn seq_roundtrips() {
+        struct V(i64);
+        impl Encode for V {
+            fn encode<W: Write>(&self, enc: &mut Encoder<W>) -> std::io::Result<()> {
+                enc.zigzag(self.0)
+            }
+        }
+        impl Decode for V {
+            fn decode<R: Read>(dec: &mut Decoder<R>) -> Result<Self, Error> {
+                Ok(V(dec.zigzag()?))
+            }
+        }
+        let items = [V(-3), V(0), V(1_000_000)];
+        let buf = roundtrip(|e| e.seq(&items).unwrap());
+        let mut dec = Decoder::new(buf.as_slice());
+        let back: Vec<V> = dec.seq(10, "items").unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.0).collect::<Vec<_>>(),
+            [-3, 0, 1_000_000]
+        );
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn trailing_bytes_are_refused() {
+        let mut buf = roundtrip(|e| e.u8(1).unwrap());
+        buf.push(0xaa);
+        let mut dec = Decoder::new(buf.as_slice());
+        dec.u8().unwrap();
+        assert!(matches!(dec.finish(), Err(Error::Malformed(_))));
+    }
+}

@@ -6,7 +6,8 @@
 //! nesting-depth cap (malformed or adversarial input yields an [`Error`],
 //! never a panic or stack overflow); the printer emits floats through
 //! Rust's shortest-round-trip formatting, so every finite `f64` survives a
-//! save/load cycle bit-exactly.
+//! save/load cycle bit-exactly, and refuses non-finite floats with a typed
+//! [`Error`] rather than silently degrading them to `null`.
 //!
 //! ```
 //! let json = serde_json::to_string(&vec![1i64, 2, 3]).unwrap();
@@ -83,11 +84,12 @@ impl From<serde::Error> for Error {
 ///
 /// # Errors
 ///
-/// Never fails for the types in this workspace; the `Result` mirrors the
-/// real serde_json signature so call sites are drop-in compatible.
+/// Returns [`Error`] when the value contains a non-finite float
+/// (`NaN`/`±∞`) — JSON has no spelling for those, and silently writing
+/// `null` would corrupt the artifact on the next load.
 pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None, 0);
+    write_value(&mut out, &value.to_value(), None, 0)?;
     Ok(out)
 }
 
@@ -95,10 +97,11 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
 ///
 /// # Errors
 ///
-/// Never fails for the types in this workspace (see [`to_string`]).
+/// Returns [`Error`] when the value contains a non-finite float (see
+/// [`to_string`]).
 pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), Some(2), 0);
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
     out.push('\n');
     Ok(out)
 }
@@ -133,17 +136,22 @@ pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
 // Printer
 // ---------------------------------------------------------------------
 
-fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+fn write_value(
+    out: &mut String,
+    value: &Value,
+    indent: Option<usize>,
+    level: usize,
+) -> Result<(), Error> {
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(true) => out.push_str("true"),
         Value::Bool(false) => out.push_str("false"),
-        Value::Number(n) => write_number(out, *n),
+        Value::Number(n) => write_number(out, *n)?,
         Value::String(s) => write_string(out, s),
         Value::Array(items) => {
             if items.is_empty() {
                 out.push_str("[]");
-                return;
+                return Ok(());
             }
             out.push('[');
             for (i, item) in items.iter().enumerate() {
@@ -151,7 +159,7 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: us
                     out.push(',');
                 }
                 write_break(out, indent, level + 1);
-                write_value(out, item, indent, level + 1);
+                write_value(out, item, indent, level + 1)?;
             }
             write_break(out, indent, level);
             out.push(']');
@@ -159,7 +167,7 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: us
         Value::Object(map) => {
             if map.is_empty() {
                 out.push_str("{}");
-                return;
+                return Ok(());
             }
             out.push('{');
             for (i, (key, item)) in map.iter().enumerate() {
@@ -172,12 +180,13 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: us
                 if indent.is_some() {
                     out.push(' ');
                 }
-                write_value(out, item, indent, level + 1);
+                write_value(out, item, indent, level + 1)?;
             }
             write_break(out, indent, level);
             out.push('}');
         }
     }
+    Ok(())
 }
 
 fn write_break(out: &mut String, indent: Option<usize>, level: usize) {
@@ -187,7 +196,7 @@ fn write_break(out: &mut String, indent: Option<usize>, level: usize) {
     }
 }
 
-fn write_number(out: &mut String, n: Number) {
+fn write_number(out: &mut String, n: Number) -> Result<(), Error> {
     match n {
         Number::PosInt(u) => {
             let _ = write!(out, "{u}");
@@ -196,15 +205,20 @@ fn write_number(out: &mut String, n: Number) {
             let _ = write!(out, "{i}");
         }
         Number::Float(f) => {
-            if f.is_finite() {
-                // Rust's Display for f64 prints the shortest decimal string
-                // that parses back to the same bits — exact round-trips.
-                let _ = write!(out, "{f}");
-            } else {
-                out.push_str("null");
+            if !f.is_finite() {
+                // JSON cannot represent NaN or infinities. Writing `null`
+                // here (what permissive writers do) would silently turn a
+                // number into a non-number on the next load, so refuse.
+                return Err(Error::data(format!(
+                    "cannot serialize non-finite float {f} as JSON"
+                )));
             }
+            // Rust's Display for f64 prints the shortest decimal string
+            // that parses back to the same bits — exact round-trips.
+            let _ = write!(out, "{f}");
         }
     }
+    Ok(())
 }
 
 fn write_string(out: &mut String, s: &str) {
@@ -553,6 +567,20 @@ mod tests {
         assert_eq!(s, "990");
         let back: f64 = from_str(&s).unwrap();
         assert_eq!(back, 990.0);
+    }
+
+    #[test]
+    fn non_finite_floats_are_refused_not_nulled() {
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let v = Value::Number(Number::Float(f));
+            let err = to_string(&v).expect_err("non-finite floats must not serialize");
+            assert!(err.to_string().contains("non-finite"), "{err}");
+            assert!(to_string_pretty(&v).is_err());
+            // Also when buried inside a container: the error must
+            // surface, not a partially-written `null`.
+            let nested = Value::Array(vec![Value::Bool(true), v]);
+            assert!(to_string(&nested).is_err());
+        }
     }
 
     #[test]
