@@ -10,7 +10,8 @@
 //!     [--requests N] [--pipeline D] [--hot FRAC] [--batch N] \
 //!     [--reload-interval-ms M] [--min-qps Q] [--require-cache-speedup S] \
 //!     [--scale-clients 64,256,1024] [--min-scaling X] \
-//!     [--fanout-batch N] [--require-fanout-speedup X]
+//!     [--fanout-batch N] [--require-fanout-speedup X] \
+//!     [--max-telemetry-overhead R]
 //! ```
 //!
 //! Measured scenarios (each against a freshly spawned server on an
@@ -40,7 +41,25 @@
 //! * `batch_fanout` — `--fanout-batch`-vector batches (default 512,
 //!   above the server's parallel-fanout threshold) against the default
 //!   server and against `--workers 1`: the speedup is what splitting one
-//!   big batch across the whole worker pool buys.
+//!   big batch across the whole worker pool buys;
+//! * `telemetry_on` / `telemetry_off` — a diverse uniform stream
+//!   against two cache-disabled servers (`--cache-entries 0`, so every
+//!   request takes the full parse → dispatch → index → render pipeline
+//!   and the two sides differ by nothing but recording), one default
+//!   and one `--telemetry off`, an unmeasured warmup burst then
+//!   best-of-3 each side: what the telemetry layer's recording costs,
+//!   which `--max-telemetry-overhead R` caps (fail when the
+//!   telemetry-off QPS exceeds `R` times the telemetry-on QPS; skipped
+//!   with a warning on single-core machines, where the ratio measures
+//!   scheduling).
+//!
+//! After every scenario the server's own `metrics` snapshot is fetched
+//! and its dispatch-stage p99 cross-checked against the client-observed
+//! p99 (both on the same histogram bucket grid): the server's interior
+//! view of a request can never be slower than the client's end-to-end
+//! view of the same traffic, so a violation means the telemetry layer
+//! is lying. The server-side figure rides along in every scenario
+//! record as `server_p99_ns`.
 //!
 //! Every response is matched by its `req` tag and diffed against the
 //! reference answer; any divergence or refusal fails the run. `--min-qps`
@@ -58,6 +77,7 @@ use mps_bench::{markdown_table, random_dims, write_artifact};
 use mps_core::MultiPlacementStructure;
 use mps_geom::Dims;
 use mps_netlist::benchmarks;
+use mps_serve::LatencyHistogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Map, Serialize, Value};
@@ -197,15 +217,27 @@ fn spawn_server(server_bin: &PathBuf, dir: &PathBuf, extra_args: &[&str]) -> Ser
 
 /// One `stats` request over a fresh connection.
 fn stats_snapshot(addr: &str) -> Value {
-    let stream = TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("stats connect: {e}")));
+    one_shot(addr, "stats")
+}
+
+/// One `metrics` request over a fresh connection: the server's own
+/// telemetry snapshot, fetched after a scenario's traffic has drained.
+fn metrics_snapshot(addr: &str) -> Value {
+    one_shot(addr, "metrics")
+}
+
+fn one_shot(addr: &str, kind: &str) -> Value {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("{kind} connect: {e}")));
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     let mut writer = stream;
-    writeln!(writer, r#"{{"kind":"stats"}}"#).expect("stats request");
+    writeln!(writer, r#"{{"kind":"{kind}"}}"#).unwrap_or_else(|e| fail(&format!("{kind}: {e}")));
     let mut line = String::new();
-    reader.read_line(&mut line).expect("stats response");
+    reader
+        .read_line(&mut line)
+        .unwrap_or_else(|e| fail(&format!("{kind} response: {e}")));
     serde_json::parse(line.trim_end())
-        .unwrap_or_else(|e| fail(&format!("unparsable stats: {e}: {line}")))
+        .unwrap_or_else(|e| fail(&format!("unparsable {kind}: {e}: {line}")))
 }
 
 struct ScenarioOutcome {
@@ -218,6 +250,13 @@ struct ScenarioOutcome {
     refusals: u64,
     hit_rate: f64,
     reloads: u64,
+    /// The server's own dispatch-stage p99 from its `metrics` response
+    /// (0 when telemetry is off or nothing went through `dispatch`).
+    server_p99_ns: u64,
+    /// The client-observed p99 pushed through the same log-linear
+    /// histogram grid the server uses, so the two percentiles round
+    /// identically and `server_p99_ns <= client_p99_grid_ns` is exact.
+    client_p99_grid_ns: u64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> Duration {
@@ -390,6 +429,16 @@ fn run_scenario(
         .and_then(|c| c.get("hit_rate"))
         .and_then(Value::as_f64)
         .unwrap_or(0.0);
+    let server_p99_ns = metrics_snapshot(addr)
+        .get("stages")
+        .and_then(|s| s.get("dispatch"))
+        .and_then(|d| d.get("p99_ns"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let grid = LatencyHistogram::new();
+    for &ns in &latencies {
+        grid.record(ns);
+    }
     latencies.sort_unstable();
     let total = (clients * requests) as u64;
     ScenarioOutcome {
@@ -402,6 +451,8 @@ fn run_scenario(
         refusals,
         hit_rate,
         reloads: reloads.load(Ordering::Relaxed),
+        server_p99_ns,
+        client_p99_grid_ns: grid.snapshot().percentile(0.99),
     }
 }
 
@@ -429,6 +480,7 @@ fn outcome_value(mix: &str, clients: usize, o: &ScenarioOutcome) -> Value {
             .unwrap_or(u64::MAX)
             .to_value(),
     );
+    m.insert("server_p99_ns", o.server_p99_ns.to_value());
     m.insert("cache_hit_rate", o.hit_rate.to_value());
     m.insert("reloads", o.reloads.to_value());
     m.insert("divergences", o.divergences.to_value());
@@ -448,7 +500,8 @@ fn main() {
                  [--requests N] [--pipeline D] [--hot FRAC] [--batch N] \
                  [--reload-interval-ms M] [--min-qps Q] [--require-cache-speedup S] \
                  [--scale-clients 64,256,1024] [--min-scaling X] \
-                 [--fanout-batch N] [--require-fanout-speedup X]"
+                 [--fanout-batch N] [--require-fanout-speedup X] \
+                 [--max-telemetry-overhead R]"
             );
             std::process::exit(2);
         });
@@ -488,6 +541,7 @@ fn main() {
     let min_scaling: f64 = arg_value("min-scaling").unwrap_or(0.0);
     let fanout_batch: usize = arg_value("fanout-batch").unwrap_or(512);
     let require_fanout_speedup: f64 = arg_value("require-fanout-speedup").unwrap_or(0.0);
+    let max_telemetry_overhead: f64 = arg_value("max-telemetry-overhead").unwrap_or(0.0);
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
     // The scaling gate compares uniform QPS at `cores` clients to the
@@ -650,6 +704,18 @@ fn main() {
     let mut total_divergences = 0u64;
     let mut total_refusals = 0u64;
     let mut record = |mix: &str, clients: usize, o: &ScenarioOutcome| {
+        // Server-vs-client percentile cross-check: the server's interior
+        // dispatch p99 must fit inside the client's end-to-end p99 for
+        // the same traffic. Both sides round on the same bucket grid, so
+        // this holds exactly — a violation means the telemetry is wrong.
+        if o.server_p99_ns > 0 && o.server_p99_ns > o.client_p99_grid_ns {
+            fail(&format!(
+                "{mix} x{clients}: server-side dispatch p99 ({} ns) exceeds the \
+                 client-observed p99 ({} ns, same bucket grid) — the server's interior \
+                 span cannot be slower than the wire round-trip that contains it",
+                o.server_p99_ns, o.client_p99_grid_ns
+            ));
+        }
         scenario_rows.push(vec![
             mix.to_owned(),
             clients.to_string(),
@@ -657,6 +723,7 @@ fn main() {
             format!("{:?}", o.p50),
             format!("{:?}", o.p99),
             format!("{:?}", o.p999),
+            format!("{:?}", Duration::from_nanos(o.server_p99_ns)),
             format!("{:.1}%", 100.0 * o.hit_rate),
             o.reloads.to_string(),
         ]);
@@ -833,6 +900,80 @@ fn main() {
     drop(server);
     let fanout_speedup = fanout_multi.qps / fanout_single.qps.max(1e-9);
 
+    // Telemetry overhead: the same uniform stream against a default
+    // server (telemetry on) and one started with `--telemetry off`,
+    // best-of-3 per side — max-of-N is the standard noise filter for a
+    // ratio gate this tight (the claim is "under 5%", and OS jitter
+    // alone exceeds that in a single short run). Each round warms the
+    // fresh server with an unmeasured burst first: the measured window
+    // must be steady state, not allocator/page-cache/accept-path
+    // startup, or the ratio measures boot noise instead of recording.
+    let overhead_requests = requests.max(2000);
+    let overhead_clients = max_clients;
+    // A pool larger than the total request count: near-zero replay hit
+    // rate, so the measured path is the full parse → dispatch → index →
+    // render pipeline. Reusing the 1024-entry uniform pool here would
+    // turn the run into mostly cached-line replay — the cheapest path
+    // the server has, which overstates the *relative* cost of recording
+    // on the traffic nobody optimizes for.
+    let overhead_pool: Arc<Vec<PoolEntry>> = Arc::new(
+        (0..(overhead_clients * overhead_requests).next_power_of_two())
+            .map(|k| {
+                let (name, mps) = &structures[k % structures.len()];
+                let dims = uniform_dims(&mut rng, name, mps);
+                query_entry(name, mps, &dims)
+            })
+            .collect(),
+    );
+    let mut best_of_3 = |extra_args: &[&str], label: &str| -> ScenarioOutcome {
+        let mut best: Option<ScenarioOutcome> = None;
+        for round in 1..=3 {
+            let server = spawn_server(&server_bin, &dir, extra_args);
+            eprintln!(
+                "loadgen: {label} x{overhead_clients} round {round}/3 against {}",
+                server.addr
+            );
+            let warmup = run_scenario(
+                &server.addr,
+                overhead_clients,
+                200,
+                pipeline,
+                &overhead_pool,
+                None,
+            );
+            total_divergences += warmup.divergences;
+            total_refusals += warmup.refusals;
+            let o = run_scenario(
+                &server.addr,
+                overhead_clients,
+                overhead_requests,
+                pipeline,
+                &overhead_pool,
+                None,
+            );
+            total_divergences += o.divergences;
+            total_refusals += o.refusals;
+            if best.as_ref().is_none_or(|b| o.qps > b.qps) {
+                best = Some(o);
+            }
+        }
+        best.expect("three rounds ran")
+    };
+    // Both sides run cache-disabled: with the answer cache on, the
+    // measured mix depends on how the client index stride happens to
+    // overlap the pool, and the cheapest (replay) path dominates. With
+    // it off every request takes the full pipeline on both servers —
+    // the paths being compared are identical except for recording.
+    let telemetry_on = best_of_3(&["--cache-entries", "0"], "telemetry_on");
+    let telemetry_off = best_of_3(
+        &["--cache-entries", "0", "--telemetry", "off"],
+        "telemetry_off",
+    );
+    record("telemetry_on", overhead_clients, &telemetry_on);
+    record("telemetry_off", overhead_clients, &telemetry_off);
+    // > 1 means recording costs throughput; the gate caps the ratio.
+    let telemetry_overhead = telemetry_off.qps / telemetry_on.qps.max(1e-9);
+
     // --- Report -------------------------------------------------------
     println!(
         "\nServing load ({} structure(s), {requests} reqs/client, pipeline depth {pipeline})",
@@ -841,7 +982,17 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Mix", "Clients", "QPS", "p50", "p99", "p999", "Hit rate", "Reloads"],
+            &[
+                "Mix",
+                "Clients",
+                "QPS",
+                "p50",
+                "p99",
+                "p999",
+                "Server p99",
+                "Hit rate",
+                "Reloads"
+            ],
             &scenario_rows
         )
     );
@@ -853,6 +1004,11 @@ fn main() {
         "{fanout_batch}-vector batch fanout, {cores} core(s): {:.0} vs {:.0} req/s \
          with 1 worker ({fanout_speedup:.2}x)",
         fanout_multi.qps, fanout_single.qps
+    );
+    println!(
+        "telemetry on vs off (best of 3): {:.0} vs {:.0} req/s \
+         (off/on {telemetry_overhead:.3}x)",
+        telemetry_on.qps, telemetry_off.qps
     );
     if uniform_qps_at_1 > 0.0 && uniform_qps_at_cores > 0.0 {
         println!(
@@ -904,6 +1060,15 @@ fn main() {
     );
     comparison.insert("cached_hit_rate", cached.hit_rate.to_value());
     top.insert("cache_comparison", Value::Object(comparison));
+    let mut overhead = Map::new();
+    overhead.insert("on_qps", telemetry_on.qps.round().to_value());
+    overhead.insert("off_qps", telemetry_off.qps.round().to_value());
+    overhead.insert(
+        "off_over_on",
+        ((telemetry_overhead * 1000.0).round() / 1000.0).to_value(),
+    );
+    overhead.insert("on_server_p99_ns", telemetry_on.server_p99_ns.to_value());
+    top.insert("telemetry_overhead", Value::Object(overhead));
     let mut gates = Map::new();
     gates.insert("min_qps", min_qps.to_value());
     gates.insert("measured_qps", uniform_qps_at_max.round().to_value());
@@ -926,6 +1091,11 @@ fn main() {
     gates.insert(
         "measured_fanout_speedup",
         ((fanout_speedup * 100.0).round() / 100.0).to_value(),
+    );
+    gates.insert("max_telemetry_overhead", max_telemetry_overhead.to_value());
+    gates.insert(
+        "measured_telemetry_overhead",
+        ((telemetry_overhead * 1000.0).round() / 1000.0).to_value(),
     );
     top.insert("gates", Value::Object(gates.clone()));
     let path = write_artifact(
@@ -980,6 +1150,24 @@ fn main() {
             fail(&format!(
                 "uniform QPS at {cores} clients is only {scaling_ratio:.2}x the 1-client \
                  figure, below the required {min_scaling:.2}x"
+            ));
+        }
+    }
+    if max_telemetry_overhead > 0.0 {
+        if cores < 2 {
+            // On one core the server and the closed-loop clients fight
+            // for the same CPU, so the off/on ratio measures scheduler
+            // perturbation, not recording cost — same self-skip as the
+            // other parallelism-dependent gates.
+            eprintln!(
+                "loadgen: WARN: --max-telemetry-overhead {max_telemetry_overhead} skipped — \
+                 only {cores} core(s), the ratio would measure scheduling, not recording"
+            );
+        } else if telemetry_overhead > max_telemetry_overhead {
+            fail(&format!(
+                "telemetry recording costs too much: the telemetry-off server is \
+                 {telemetry_overhead:.3}x the telemetry-on throughput, above the allowed \
+                 {max_telemetry_overhead:.3}x"
             ));
         }
     }

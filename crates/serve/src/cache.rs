@@ -31,8 +31,11 @@
 //!   on registry hot-reload, a stale answer can never outlive the swap:
 //!   either the insert lands before the clear (and is cleared), or the
 //!   generation check rejects it.
-//! * **Counted**: hits, misses, evictions and invalidations are atomic
-//!   counters surfaced through the server's `stats` response.
+//! * **Counted**: hits and misses are tallied per shard *under the shard
+//!   lock*, so each shard's `(hits, misses)` pair is a coherent cut and
+//!   the hit-rate `stats` reports can never be computed from a torn
+//!   pair; evictions and invalidations are plain atomic counters. See
+//!   `PROTOCOL.md` § "Telemetry consistency model".
 //!
 //! A capacity of 0 disables the cache entirely (every lookup reports
 //! [`CacheLookup::Disabled`]); the server then serves straight from the
@@ -77,6 +80,12 @@ struct Shard {
     /// Least recently used node (the eviction victim), `NIL` when empty.
     tail: usize,
     len: usize,
+    /// Hit/miss tallies live *inside* the shard (incremented under its
+    /// lock, read under its lock by `stats`), so the pair is always a
+    /// coherent cut of this shard's history — a hit-rate computed from
+    /// it can never mix a post-lookup hit with a pre-lookup miss count.
+    hits: u64,
+    misses: u64,
 }
 
 impl Shard {
@@ -250,9 +259,10 @@ pub struct MissToken {
 /// server's `stats` response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache. Summed from per-shard tallies
+    /// read under each shard's lock (coherent with `misses` per shard).
     pub hits: u64,
-    /// Lookups that had to compute.
+    /// Lookups that had to compute. Same coherence as `hits`.
     pub misses: u64,
     /// Entries dropped by LRU pressure.
     pub evictions: u64,
@@ -276,8 +286,6 @@ pub struct AnswerCache {
     per_shard_capacity: usize,
     capacity: usize,
     generation: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
 }
@@ -310,8 +318,6 @@ impl AnswerCache {
             per_shard_capacity,
             capacity,
             generation: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
         }
@@ -338,17 +344,16 @@ impl AnswerCache {
         }
         let generation = self.generation.load(Ordering::Acquire);
         let hash = key_hash(class, structure, dims);
-        let outcome = {
-            let mut shard = lock_recover(self.shard(hash));
-            shard.get(hash, class, structure, dims)
-        };
-        match outcome {
+        // The tally happens inside the lock scope so this shard's
+        // (hits, misses) pair stays coherent — see the module docs.
+        let mut shard = lock_recover(self.shard(hash));
+        match shard.get(hash, class, structure, dims) {
             GetOutcome::Hit(line) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits += 1;
                 CacheLookup::Hit(line)
             }
             GetOutcome::Miss => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses += 1;
                 CacheLookup::Miss(MissToken { generation })
             }
         }
@@ -417,15 +422,27 @@ impl AnswerCache {
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A point-in-time copy of the counters.
+    /// A point-in-time copy of the counters. Each shard's hit/miss pair
+    /// and entry count are read together under that shard's lock, so the
+    /// totals are a merge of per-shard-coherent cuts: monotonic between
+    /// two reads, and never a torn pair within one shard.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut entries = 0;
+        for shard in &self.shards {
+            let shard = lock_recover(shard);
+            hits += shard.hits;
+            misses += shard.misses;
+            entries += shard.len;
+        }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits,
+            misses,
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| lock_recover(s).len).sum(),
+            entries,
             capacity: self.capacity,
             shards: self.shards.len(),
         }

@@ -62,6 +62,7 @@ mod registry;
 mod server;
 #[cfg(feature = "serde")]
 mod shard;
+mod telemetry;
 
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -87,3 +88,8 @@ pub use protocol::{
 pub use registry::{ReloadReport, ServeError, ServedStructure, StructureRegistry};
 #[cfg(feature = "serde")]
 pub use server::{Server, ServerConfig};
+pub use telemetry::{
+    HeatSnapshot, HistogramSnapshot, LaneStats, LatencyHistogram, SlowRing, Stage, StageTrace,
+    StripedCounters, StructureHeat, Telemetry, TraceEntry, HEAT_BINS, HISTOGRAM_BUCKETS,
+    STAGE_COUNT,
+};

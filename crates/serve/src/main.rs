@@ -4,6 +4,7 @@
 //! ```sh
 //! mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N] [--shards N]
 //!           [--max-connections N] [--cache-entries N] [--cache-shards N]
+//!           [--telemetry on|off] [--metrics-interval SECS]
 //! mps-serve convert <IN> <OUT>
 //! ```
 //!
@@ -35,7 +36,13 @@
 //! (default 4096; 0 = unlimited): an accept beyond the cap is answered
 //! with one typed `overloaded` error line and closed. `--cache-entries
 //! N` sizes the sharded LRU answer cache (default 4096; 0 disables it),
-//! `--cache-shards N` its shard count (default 8). See
+//! `--cache-shards N` its shard count (default 8).
+//!
+//! `--telemetry off` disables the telemetry layer (per-stage latency
+//! histograms, query-dimension heatmaps, the slow-request ring; default
+//! on — the `metrics` and `trace` protocol requests report it either
+//! way). `--metrics-interval SECS` prints a one-line telemetry summary
+//! to stderr every `SECS` seconds (0, the default, prints none). See
 //! `crates/serve/PROTOCOL.md` for the full wire contract.
 
 use mps_core::MultiPlacementStructure;
@@ -47,6 +54,7 @@ use std::sync::Arc;
 
 const USAGE: &str = "usage: mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N] [--shards N] \
                      [--max-connections N] [--cache-entries N] [--cache-shards N]\n\
+                     \x20                [--telemetry on|off] [--metrics-interval SECS]\n\
                      \x20      mps-serve convert <IN> <OUT>   (artifact format by extension: \
                      .json = mps-v1, .mpsb = mps-v2)";
 
@@ -102,6 +110,7 @@ fn main() -> ExitCode {
     }
     let mut dir: Option<String> = None;
     let mut tcp_port: Option<u16> = None;
+    let mut metrics_interval: u64 = 0;
     let mut config = ServerConfig::default();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -128,6 +137,15 @@ fn main() -> ExitCode {
             },
             "--cache-shards" => match it.next().as_deref().map(str::parse) {
                 Some(Ok(n)) => config.cache_shards = n,
+                _ => return usage(),
+            },
+            "--telemetry" => match it.next().as_deref() {
+                Some("on") => config.telemetry = true,
+                Some("off") => config.telemetry = false,
+                _ => return usage(),
+            },
+            "--metrics-interval" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(secs)) => metrics_interval = secs,
                 _ => return usage(),
             },
             "--help" | "-h" => {
@@ -169,6 +187,20 @@ fn main() -> ExitCode {
         config.effective_shards()
     );
     let server = Arc::new(Server::with_config(Arc::clone(&registry), config));
+
+    // Optional periodic one-line telemetry summary on stderr. The
+    // thread is detached on purpose: it only reads atomics and dies
+    // with the process.
+    if metrics_interval > 0 {
+        let metrics_server = Arc::clone(&server);
+        std::thread::Builder::new()
+            .name("mps-serve-metrics".to_owned())
+            .spawn(move || loop {
+                std::thread::sleep(std::time::Duration::from_secs(metrics_interval));
+                eprintln!("mps-serve: {}", metrics_server.metrics_line());
+            })
+            .expect("spawn metrics summary thread");
+    }
 
     // Optional localhost TCP side: connections owned by shard event
     // loops, all sharing the same registry snapshots, pool and cache.

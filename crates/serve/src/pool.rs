@@ -29,14 +29,32 @@ impl WorkerPool {
     /// Panics if the operating system refuses to spawn a thread.
     #[must_use]
     pub fn new(threads: usize) -> Self {
+        Self::with_thread_init(threads, |_| {})
+    }
+
+    /// Spawns `threads` workers (clamped to at least 1), calling `init`
+    /// with the worker's index on each worker thread before it starts
+    /// taking jobs — the server uses this to bind each worker to its
+    /// telemetry lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operating system refuses to spawn a thread.
+    #[must_use]
+    pub fn with_thread_init(threads: usize, init: impl Fn(usize) + Send + Sync + 'static) -> Self {
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let init = Arc::new(init);
         let workers = (0..threads.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let init = Arc::clone(&init);
                 std::thread::Builder::new()
                     .name(format!("mps-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || {
+                        init(i);
+                        worker_loop(&rx);
+                    })
                     .expect("spawn worker thread")
             })
             .collect();

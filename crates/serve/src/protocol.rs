@@ -35,13 +35,15 @@ use mps_geom::{Coord, Dims, DimsError};
 use serde::{Map, Serialize, Value};
 
 /// Every request kind the server understands, as spelled on the wire.
-pub const REQUEST_KINDS: [&str; 6] = [
+pub const REQUEST_KINDS: [&str; 8] = [
     "query",
     "batch_query",
     "instantiate",
     "reload",
     "stats",
     "list_structures",
+    "metrics",
+    "trace",
 ];
 
 /// A parsed, not-yet-validated client request.
@@ -80,6 +82,41 @@ pub enum Request {
     Stats,
     /// Sorted names of every served structure.
     ListStructures,
+    /// The full telemetry snapshot: per-stage latency histograms per
+    /// lane, per-structure query-dimension heatmaps, cache/pool/
+    /// connection gauges.
+    Metrics,
+    /// Drain the slow-request ring: the N worst requests since the last
+    /// `trace`, each with its per-stage time breakdown.
+    Trace,
+}
+
+impl Request {
+    /// The request's kind as spelled on the wire.
+    #[must_use]
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Request::Query { .. } => "query",
+            Request::BatchQuery { .. } => "batch_query",
+            Request::Instantiate { .. } => "instantiate",
+            Request::Reload => "reload",
+            Request::Stats => "stats",
+            Request::ListStructures => "list_structures",
+            Request::Metrics => "metrics",
+            Request::Trace => "trace",
+        }
+    }
+
+    /// The structure the request addresses, when it addresses one.
+    #[must_use]
+    pub fn structure_name(&self) -> Option<&str> {
+        match self {
+            Request::Query { structure, .. }
+            | Request::BatchQuery { structure, .. }
+            | Request::Instantiate { structure, .. } => Some(structure),
+            _ => None,
+        }
+    }
 }
 
 /// Typed reason a request was refused. The wire spelling is
@@ -279,6 +316,8 @@ fn parse_request_body(obj: &Map) -> Result<Request, RequestError> {
         "reload" => Ok(Request::Reload),
         "stats" => Ok(Request::Stats),
         "list_structures" => Ok(Request::ListStructures),
+        "metrics" => Ok(Request::Metrics),
+        "trace" => Ok(Request::Trace),
         other => Err(RequestError::new(
             ErrorKind::UnknownKind,
             format!(
@@ -492,6 +531,33 @@ mod tests {
             parse_request(r#"{"kind":"list_structures"}"#).unwrap(),
             Request::ListStructures
         );
+        assert_eq!(
+            parse_request(r#"{"kind":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"trace"}"#).unwrap(),
+            Request::Trace
+        );
+    }
+
+    #[test]
+    fn kind_str_round_trips_through_the_parser() {
+        // Every wire spelling parses to a request whose `kind_str` is
+        // that spelling (body members filled with minimal valid values).
+        for kind in REQUEST_KINDS {
+            let body = match kind {
+                "query" | "instantiate" => {
+                    format!(r#"{{"kind":"{kind}","structure":"s","dims":[[1,2]]}}"#)
+                }
+                "batch_query" => {
+                    format!(r#"{{"kind":"{kind}","structure":"s","dims_list":[[[1,2]]]}}"#)
+                }
+                _ => format!(r#"{{"kind":"{kind}"}}"#),
+            };
+            let request = parse_request(&body).unwrap();
+            assert_eq!(request.kind_str(), kind);
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use mps_core::{MultiPlacementStructure, PersistError};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Probes [`CompiledQueryIndex::verify_against`] runs per artifact load.
@@ -223,6 +224,10 @@ type Snapshot = Arc<HashMap<String, Arc<ServedStructure>>>;
 pub struct StructureRegistry {
     dir: Option<PathBuf>,
     map: RwLock<Snapshot>,
+    /// Bumped on every successful snapshot swap (`publish`/`reload`) —
+    /// a cheap change detector for observers (`metrics` surfaces it, so
+    /// a scraper can tell "same structure set" without diffing names).
+    generation: AtomicU64,
 }
 
 impl StructureRegistry {
@@ -244,6 +249,7 @@ impl StructureRegistry {
         Ok(Self {
             dir: Some(dir),
             map: RwLock::new(Arc::new(map)),
+            generation: AtomicU64::new(0),
         })
     }
 
@@ -254,6 +260,7 @@ impl StructureRegistry {
         Self {
             dir: None,
             map: RwLock::new(Arc::new(HashMap::new())),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -308,6 +315,15 @@ impl StructureRegistry {
         let mut next: HashMap<String, Arc<ServedStructure>> = (**guard).clone();
         next.insert(served.name().to_owned(), served);
         *guard = Arc::new(next);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many snapshot swaps (publishes + successful reloads) this
+    /// registry has seen. Monotonic; equal values between two reads mean
+    /// the served set did not change in between.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// Rescans the backing directory, loads and validates every artifact
@@ -332,6 +348,7 @@ impl StructureRegistry {
             let mut guard = self.map.write().expect("registry lock poisoned");
             std::mem::replace(&mut *guard, Arc::clone(&next))
         };
+        self.generation.fetch_add(1, Ordering::Relaxed);
         let mut added: Vec<String> = next
             .keys()
             .filter(|n| !prev.contains_key(*n))

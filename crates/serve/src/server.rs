@@ -23,11 +23,11 @@ use crate::protocol::{
 };
 use crate::registry::{ServedStructure, StructureRegistry};
 use crate::shard::ShardSet;
+use crate::telemetry::{HistogramSnapshot, Stage, StageTrace, StripedCounters, Telemetry};
 use mps_core::PlacementId;
 use mps_geom::Dims;
 use mps_placer::Placement;
 use serde::{Map, Serialize, Value};
-use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -41,6 +41,26 @@ const PARALLEL_BATCH_THRESHOLD: usize = 256;
 /// Floor on the per-chunk size of a fanned-out batch: chunks smaller
 /// than this cost more in handoff than the queries they carry.
 const MIN_FANOUT_CHUNK: usize = 64;
+
+/// How many worst-request records the telemetry slow ring keeps between
+/// two `trace` drains.
+const SLOW_RING_CAPACITY: usize = 32;
+
+/// Stripe count of the per-structure query tally (16 thread-affine
+/// stripes keep concurrent dispatchers off each other's locks).
+const STRUCTURE_COUNTER_STRIPES: usize = 16;
+
+/// Nanoseconds elapsed since `t`, saturated into `u64` (584 years).
+pub(crate) fn ns_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Nanoseconds between two instants, saturating both ways — for spans
+/// that share one clock read as the end of one and the start of the
+/// next.
+fn ns_between(from: Instant, to: Instant) -> u64 {
+    u64::try_from(to.saturating_duration_since(from).as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// How one rendered reply leaves a heavy (pooled) request: the shard
 /// event loop hands completions back to the owning shard's inbox; the
@@ -77,6 +97,13 @@ pub struct ServerConfig {
     /// closed (counted under `connections.refused` in `stats`). 0 means
     /// unlimited.
     pub max_connections: usize,
+    /// Whether the telemetry layer records (per-stage latency
+    /// histograms, query-dimension heatmaps, the slow-request ring).
+    /// Defaults to on — recording is a handful of relaxed atomic adds
+    /// per request. Off, every recording call short-circuits and the
+    /// `metrics` response reports `"enabled":false` (the loadgen
+    /// overhead gate measures exactly this difference).
+    pub telemetry: bool,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +114,7 @@ impl Default for ServerConfig {
             cache_shards: 8,
             shards: 0,
             max_connections: 4096,
+            telemetry: true,
         }
     }
 }
@@ -122,7 +150,40 @@ pub(crate) enum Admitted {
     /// Refused at the framing layer; the rendered error response.
     Reply(String),
     /// Accepted; dispatch it (pooled when tagged, inline otherwise).
-    Run { id: Option<u64>, request: Request },
+    Run {
+        id: Option<u64>,
+        request: Request,
+        /// Time `admit` spent parsing the line, carried so the request's
+        /// slow-ring record can account for it (the parse stage
+        /// histogram was already fed on the admitting thread).
+        parse_ns: u64,
+    },
+}
+
+/// Telemetry context one admitted request carries into
+/// [`Server::complete`]: where it runs and how long admission and the
+/// pool queue already cost it.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ReqCtx {
+    /// The request executes on a pool worker (nested fan-out must not
+    /// wait on a second pool slot).
+    pub on_pool_worker: bool,
+    /// Parse time from `admit`, for the slow-ring total.
+    pub parse_ns: u64,
+    /// Queue wait between `submit_heavy` and the worker picking the job
+    /// up; 0 for inline requests.
+    pub pool_ns: u64,
+}
+
+impl ReqCtx {
+    /// Context for a request dispatched inline on the admitting thread.
+    pub(crate) fn inline(parse_ns: u64) -> Self {
+        Self {
+            on_pool_worker: false,
+            parse_ns,
+            pool_ns: 0,
+        }
+    }
 }
 
 /// Ties the `connections_open` gauge to a connection's actual lifetime:
@@ -225,7 +286,8 @@ pub struct Server {
     connections_total: AtomicU64,
     connections_open: AtomicU64,
     connections_refused: AtomicU64,
-    per_structure: Mutex<BTreeMap<String, u64>>,
+    per_structure: StripedCounters,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Server {
@@ -246,7 +308,23 @@ impl Server {
     /// answer-cache knobs.
     #[must_use]
     pub fn with_config(registry: Arc<StructureRegistry>, config: ServerConfig) -> Self {
-        let pool = WorkerPool::new(config.workers);
+        let shards = config.effective_shards();
+        let telemetry = Arc::new(Telemetry::new(
+            shards,
+            config.workers.max(1),
+            config.telemetry,
+            SLOW_RING_CAPACITY,
+        ));
+        // Each worker binds its telemetry lane before taking jobs, so
+        // per-lane histograms attribute pooled work to the worker that
+        // did it (lane 0 = inline, 1..=shards = shard loops, then
+        // workers — see the telemetry module docs).
+        let pool = {
+            let telemetry = Arc::clone(&telemetry);
+            WorkerPool::with_thread_init(config.workers, move |i| {
+                telemetry.bind_lane(1 + shards + i);
+            })
+        };
         let cache = AnswerCache::new(config.cache_entries, config.cache_shards);
         Self {
             registry,
@@ -262,8 +340,14 @@ impl Server {
             connections_total: AtomicU64::new(0),
             connections_open: AtomicU64::new(0),
             connections_refused: AtomicU64::new(0),
-            per_structure: Mutex::new(BTreeMap::new()),
+            per_structure: StripedCounters::new(STRUCTURE_COUNTER_STRIPES),
+            telemetry,
         }
+    }
+
+    /// The telemetry hub shared by every serving thread.
+    pub(crate) fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration this server was built with.
@@ -316,11 +400,15 @@ impl Server {
         match self.admit(&state, line) {
             Admitted::Blank => None,
             Admitted::Reply(response) => Some(response),
-            Admitted::Run { id, mut request } => {
+            Admitted::Run {
+                id,
+                mut request,
+                parse_ns,
+            } => {
                 if let Request::BatchQuery { binary, .. } = &mut request {
                     *binary = false;
                 }
-                match self.complete(id, request, false) {
+                match self.complete(id, request, ReqCtx::inline(parse_ns)) {
                     Reply::Line(line) => Some(line),
                     // Unreachable — the flag was cleared above — but
                     // stay total rather than panic on a future kind.
@@ -345,7 +433,14 @@ impl Server {
             return Admitted::Blank;
         }
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let envelope = match parse_envelope(line) {
+        // Parse is timed (and its histogram fed) right here on the
+        // admitting thread — the shard loop or inline pump that actually
+        // did the work — not on whichever worker later runs the request.
+        let parse_started = self.telemetry.enabled().then(Instant::now);
+        let parsed = parse_envelope(line);
+        let parse_ns = parse_started.map_or(0, ns_since);
+        self.telemetry.record(Stage::Parse, parse_ns);
+        let envelope = match parsed {
             Ok(envelope) => envelope,
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
@@ -394,6 +489,7 @@ impl Server {
         Admitted::Run {
             id: envelope.id,
             request: envelope.request,
+            parse_ns,
         }
     }
 
@@ -401,26 +497,47 @@ impl Server {
     /// line, or a binary frame for batches that opted in), echoing the
     /// request id as `req` on tagged requests. Errors are always JSON
     /// lines, whatever encoding the request asked for.
-    pub(crate) fn complete(
-        &self,
-        id: Option<u64>,
-        request: Request,
-        on_pool_worker: bool,
-    ) -> Reply {
+    ///
+    /// This is also where the request's stage trace is sealed: the
+    /// dispatch span (which contains the index/cache/render interior
+    /// spans) is measured around everything below, recorded on the
+    /// *executing* thread's telemetry lane, and the finished trace is
+    /// offered to the slow-request ring.
+    pub(crate) fn complete(&self, id: Option<u64>, request: Request, ctx: ReqCtx) -> Reply {
+        let enabled = self.telemetry.enabled();
+        // Captured before dispatch consumes the request; the clone only
+        // happens when telemetry is on (it feeds the slow ring).
+        let slow_kind = request.kind_str();
+        let slow_structure = if enabled {
+            request.structure_name().map(str::to_owned)
+        } else {
+            None
+        };
+        let mut trace = StageTrace::default();
+        trace.add(Stage::Parse, ctx.parse_ns);
+        trace.add(Stage::Pool, ctx.pool_ns);
+        let dispatch_started = enabled.then(Instant::now);
         // A handler bug must cost one error response, not the server.
-        let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(request, on_pool_worker)))
-            .unwrap_or_else(|_| {
-                Err(RequestError::new(
-                    ErrorKind::Internal,
-                    "request handler panicked; the server keeps serving",
-                ))
-            });
-        match result {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.dispatch(request, ctx.on_pool_worker, &mut trace)
+        }))
+        .unwrap_or_else(|_| {
+            Err(RequestError::new(
+                ErrorKind::Internal,
+                "request handler panicked; the server keeps serving",
+            ))
+        });
+        let reply = match result {
             Ok(Outcome::Map(mut map)) => {
                 if let Some(id) = id {
                     map.insert("req", id.to_value());
                 }
-                Reply::Line(crate::protocol::render(map))
+                let render_started = enabled.then(Instant::now);
+                let line = crate::protocol::render(map);
+                if let Some(t) = render_started {
+                    trace.add(Stage::Render, ns_since(t));
+                }
+                Reply::Line(line)
             }
             Ok(Outcome::Rendered(line)) => Reply::Line(match id {
                 None => line,
@@ -440,7 +557,16 @@ impl Server {
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 Reply::Line(tagged_error_response(id, &e))
             }
+        };
+        if let Some(t) = dispatch_started {
+            // The dispatch span covers handling *and* the reply render
+            // above, so stage sums can account for a request end to end.
+            trace.add(Stage::Dispatch, ns_since(t));
+            self.telemetry.record_completion(&trace);
+            self.telemetry
+                .observe_slow(slow_kind, slow_structure, id, &trace);
         }
+        reply
     }
 
     /// Pumps requests from `reader` to `writer` sequentially until EOF:
@@ -457,7 +583,11 @@ impl Server {
             let reply = match self.admit(&state, &line) {
                 Admitted::Blank => continue,
                 Admitted::Reply(response) => Reply::Line(response),
-                Admitted::Run { id, request } => self.complete(id, request, false),
+                Admitted::Run {
+                    id,
+                    request,
+                    parse_ns,
+                } => self.complete(id, request, ReqCtx::inline(parse_ns)),
             };
             write_reply_to(&mut writer, &reply)?;
         }
@@ -499,20 +629,26 @@ impl Server {
             let outcome = match self.admit(&state, &line) {
                 Admitted::Blank => Ok(()),
                 Admitted::Reply(response) => write_reply(&writer, &Reply::Line(response)),
-                Admitted::Run { id: None, request } => {
-                    let reply = self.complete(None, request, false);
+                Admitted::Run {
+                    id: None,
+                    request,
+                    parse_ns,
+                } => {
+                    let reply = self.complete(None, request, ReqCtx::inline(parse_ns));
                     write_reply(&writer, &reply)
                 }
                 Admitted::Run {
                     id: Some(id),
                     request,
+                    parse_ns,
                 } if !self.is_heavy(&request) => {
-                    let reply = self.complete(Some(id), request, false);
+                    let reply = self.complete(Some(id), request, ReqCtx::inline(parse_ns));
                     write_reply(&writer, &reply)
                 }
                 Admitted::Run {
                     id: Some(id),
                     request,
+                    parse_ns,
                 } => {
                     pending.begin();
                     let writer = Arc::clone(&writer);
@@ -524,7 +660,7 @@ impl Server {
                         let _ = write_reply(&writer, &reply);
                         pending.end();
                     });
-                    self.submit_heavy(id, request, sink);
+                    self.submit_heavy(id, request, parse_ns, sink);
                     Ok(())
                 }
             };
@@ -641,7 +777,13 @@ impl Server {
     /// occupies a single pool slot: it fans out in chunks across the
     /// whole pool and the last chunk to finish assembles the ids back
     /// into request order. Everything else takes one slot.
-    pub(crate) fn submit_heavy(self: &Arc<Self>, id: u64, request: Request, sink: ResponseSink) {
+    pub(crate) fn submit_heavy(
+        self: &Arc<Self>,
+        id: u64,
+        request: Request,
+        parse_ns: u64,
+        sink: ResponseSink,
+    ) {
         match request {
             Request::BatchQuery {
                 structure,
@@ -652,7 +794,11 @@ impl Server {
             }
             request => {
                 let server = Arc::clone(self);
+                let submitted = self.telemetry.enabled().then(Instant::now);
                 self.pool.execute(move || {
+                    // The queue wait (submit → job start) is the pool
+                    // stage of this request's trace.
+                    let pool_ns = submitted.map_or(0, ns_since);
                     // Deliver from Drop so a panic anywhere in the
                     // render still produces a response (complete()
                     // already catches handler panics; this covers the
@@ -685,7 +831,15 @@ impl Server {
                         id,
                         reply: None,
                     };
-                    delivery.reply = Some(server.complete(Some(id), request, true));
+                    delivery.reply = Some(server.complete(
+                        Some(id),
+                        request,
+                        ReqCtx {
+                            on_pool_worker: true,
+                            parse_ns,
+                            pool_ns,
+                        },
+                    ));
                 });
             }
         }
@@ -723,6 +877,16 @@ impl Server {
         self.queries
             .fetch_add(dims_list.len() as u64, Ordering::Relaxed);
         self.count_structure(&structure, dims_list.len() as u64);
+        // Heat is recorded here on the submitting thread: the dimension
+        // distribution is per request, not per worker chunk. Fanned
+        // batches bypass complete(), so their dispatch span is *not* in
+        // the stage histograms — the per-chunk index/pool spans below
+        // and the assemble-side render span are (see PROTOCOL.md).
+        if let Some(heat) = self.telemetry.heat_for(&structure, || heat_bounds(&served)) {
+            for dims in &dims_list {
+                heat.record(dims);
+            }
+        }
         let chunk_len = dims_list
             .len()
             .div_ceil(self.pool.workers() * 2)
@@ -740,6 +904,7 @@ impl Server {
         for (i, chunk) in chunks.into_iter().enumerate() {
             let fanout = Arc::clone(&fanout);
             let served = Arc::clone(&served);
+            let submitted = self.telemetry.enabled().then(Instant::now);
             self.pool.execute(move || {
                 // Drop-driven countdown: a panicking chunk still counts
                 // down, and the response is still delivered (as an
@@ -751,13 +916,29 @@ impl Server {
                     }
                 }
                 let _guard = FinishGuard(Arc::clone(&fanout));
+                // Per-chunk spans land on this worker's lane: the queue
+                // wait as the pool stage, the chunk query as index.
+                let telemetry = fanout.server.telemetry();
+                if let Some(t) = submitted {
+                    telemetry.record(Stage::Pool, ns_since(t));
+                }
+                let query_started = submitted.map(|_| Instant::now());
                 let answered = served.index().query_batch(&chunk);
+                if let Some(t) = query_started {
+                    telemetry.record(Stage::Index, ns_since(t));
+                }
                 lock_recover(&fanout.slots)[i] = Some(answered);
             });
         }
     }
 
-    fn dispatch(&self, request: Request, on_pool_worker: bool) -> Result<Outcome, RequestError> {
+    fn dispatch(
+        &self,
+        request: Request,
+        on_pool_worker: bool,
+        trace: &mut StageTrace,
+    ) -> Result<Outcome, RequestError> {
+        let enabled = self.telemetry.enabled();
         match request {
             Request::Query { structure, dims } => {
                 // Cache first, registry snapshot second — the order
@@ -766,7 +947,12 @@ impl Server {
                 // shard clear drops the insert). The reverse order
                 // could accept an answer computed from the pre-reload
                 // snapshot into the post-reload cache.
-                let token = match self.cache.lookup(CacheClass::Query, &structure, &dims) {
+                let cache_started = (enabled && self.cache.enabled()).then(Instant::now);
+                let looked_up = self.cache.lookup(CacheClass::Query, &structure, &dims);
+                if let Some(t) = cache_started {
+                    trace.add(Stage::Cache, ns_since(t));
+                }
+                let token = match looked_up {
                     // A hit replays the stored line verbatim, skipping
                     // the registry lookup, the query *and* the response
                     // render (only successful requests are ever cached,
@@ -774,6 +960,12 @@ impl Server {
                     CacheLookup::Hit(line) => {
                         self.queries.fetch_add(1, Ordering::Relaxed);
                         self.count_structure(&structure, 1);
+                        // The heat grid exists: the entry this hit
+                        // replays was stored by an earlier miss, which
+                        // created the grid.
+                        if let Some(heat) = self.telemetry.heat_get(&structure) {
+                            heat.record(&dims);
+                        }
                         return Ok(Outcome::Rendered(line));
                     }
                     CacheLookup::Miss(token) => Some(token),
@@ -783,11 +975,25 @@ impl Server {
                 self.check_arity(&served, &dims)?;
                 self.queries.fetch_add(1, Ordering::Relaxed);
                 self.count_structure(&structure, 1);
+                if let Some(heat) = self.telemetry.heat_for(&structure, || heat_bounds(&served)) {
+                    heat.record(&dims);
+                }
+                let index_started = enabled.then(Instant::now);
                 let id = served.index().query(&dims);
+                // One clock read ends the index span and starts the
+                // render span — the two are adjacent on this thread.
+                let render_started = index_started.map(|t| {
+                    let now = Instant::now();
+                    trace.add(Stage::Index, ns_between(t, now));
+                    now
+                });
                 let mut map = ok_header("query");
                 map.insert("structure", Value::String(structure.clone()));
                 map.insert("id", id_value(id));
                 let line = crate::protocol::render(map);
+                if let Some(t) = render_started {
+                    trace.add(Stage::Render, ns_since(t));
+                }
                 if let Some(token) = token {
                     self.cache
                         .insert(token, CacheClass::Query, &structure, &dims, &line);
@@ -806,11 +1012,25 @@ impl Server {
                 self.queries
                     .fetch_add(dims_list.len() as u64, Ordering::Relaxed);
                 self.count_structure(&structure, dims_list.len() as u64);
+                if let Some(heat) = self.telemetry.heat_for(&structure, || heat_bounds(&served)) {
+                    for dims in &dims_list {
+                        heat.record(dims);
+                    }
+                }
+                let index_started = enabled.then(Instant::now);
                 let ids = self.batch_ids(&served, dims_list, on_pool_worker)?;
+                if let Some(t) = index_started {
+                    trace.add(Stage::Index, ns_since(t));
+                }
                 if binary {
+                    let render_started = enabled.then(Instant::now);
                     // The request tag is patched in by complete(),
                     // exactly like the JSON splice.
-                    return Ok(Outcome::Frame(crate::frame::encode_batch_ids(None, &ids)));
+                    let frame = crate::frame::encode_batch_ids(None, &ids);
+                    if let Some(t) = render_started {
+                        trace.add(Stage::Render, ns_since(t));
+                    }
+                    return Ok(Outcome::Frame(frame));
                 }
                 let mut map = ok_header("batch_query");
                 map.insert("structure", Value::String(structure));
@@ -820,10 +1040,14 @@ impl Server {
             Request::Instantiate { structure, dims } => {
                 // Cache before registry snapshot — same stale-insert
                 // race as the query arm (see the comment there).
-                let token = match self
+                let cache_started = (enabled && self.cache.enabled()).then(Instant::now);
+                let looked_up = self
                     .cache
-                    .lookup(CacheClass::Instantiate, &structure, &dims)
-                {
+                    .lookup(CacheClass::Instantiate, &structure, &dims);
+                if let Some(t) = cache_started {
+                    trace.add(Stage::Cache, ns_since(t));
+                }
+                let token = match looked_up {
                     // The biggest cache win: a hit skips the registry
                     // lookup, the bounds checks (they passed when the
                     // line was stored), the placement clone *and* the
@@ -831,6 +1055,9 @@ impl Server {
                     CacheLookup::Hit(line) => {
                         self.instantiations.fetch_add(1, Ordering::Relaxed);
                         self.count_structure(&structure, 1);
+                        if let Some(heat) = self.telemetry.heat_get(&structure) {
+                            heat.record(&dims);
+                        }
                         return Ok(Outcome::Rendered(line));
                     }
                     CacheLookup::Miss(token) => Some(token),
@@ -841,11 +1068,21 @@ impl Server {
                 self.check_bounds(&served, &dims)?;
                 self.instantiations.fetch_add(1, Ordering::Relaxed);
                 self.count_structure(&structure, 1);
+                if let Some(heat) = self.telemetry.heat_for(&structure, || heat_bounds(&served)) {
+                    heat.record(&dims);
+                }
                 // Computed right here: a synchronous pool.run handoff
                 // would only add a thread wake per request (the pipelined
                 // pump already decides *before* dispatch whether this
                 // request deserves a pool slot).
+                let index_started = enabled.then(Instant::now);
                 let (id, placement) = materialize(&served, &dims);
+                // Shared clock read: index span end = render span start.
+                let render_started = index_started.map(|t| {
+                    let now = Instant::now();
+                    trace.add(Stage::Index, ns_between(t, now));
+                    now
+                });
                 let mut map = ok_header("instantiate");
                 map.insert("structure", Value::String(structure.clone()));
                 map.insert("id", id_value(id));
@@ -861,6 +1098,9 @@ impl Server {
                     ),
                 );
                 let line = crate::protocol::render(map);
+                if let Some(t) = render_started {
+                    trace.add(Stage::Render, ns_since(t));
+                }
                 if let Some(token) = token {
                     self.cache
                         .insert(token, CacheClass::Instantiate, &structure, &dims, &line);
@@ -887,6 +1127,8 @@ impl Server {
                 Ok(Outcome::Map(map))
             }
             Request::Stats => Ok(Outcome::Map(self.stats())),
+            Request::Metrics => Ok(Outcome::Map(self.metrics())),
+            Request::Trace => Ok(Outcome::Map(self.trace_map())),
             Request::ListStructures => {
                 let mut map = ok_header("list_structures");
                 map.insert(
@@ -949,18 +1191,15 @@ impl Server {
         Ok(())
     }
 
-    /// Tallies answered work per structure name for the `stats` view.
-    /// Allocation-free after a name's first sighting (the lock is held
-    /// for a few instructions; at current request rates it is far off
-    /// the critical path, and a per-structure atomic would reset across
-    /// reload snapshots).
+    /// Tallies answered work per structure name for the `stats` and
+    /// `metrics` views. The counters are striped per thread (see
+    /// [`StripedCounters`]): dispatching threads each increment their
+    /// own stripe, so this sits on the inline hot path without ever
+    /// making two connections — or a `stats` read — contend on one
+    /// shared lock. Counts survive reload snapshots (keyed by name, not
+    /// by snapshot).
     fn count_structure(&self, name: &str, n: u64) {
-        let mut map = lock_recover(&self.per_structure);
-        if let Some(count) = map.get_mut(name) {
-            *count += n;
-        } else {
-            map.insert(name.to_owned(), n);
-        }
+        self.per_structure.add(name, n);
     }
 
     /// Answers a batch: sequentially through one scratch buffer for
@@ -994,7 +1233,7 @@ impl Server {
 
     fn stats(&self) -> Map {
         let snapshot = self.registry.snapshot();
-        let per_structure = lock_recover(&self.per_structure).clone();
+        let per_structure = self.per_structure.merged();
         let mut names: Vec<&String> = snapshot.keys().collect();
         names.sort_unstable();
         let structures: Vec<Value> = names
@@ -1033,6 +1272,26 @@ impl Server {
             self.instantiations.load(Ordering::Relaxed).to_value(),
         );
         counters.insert("reloads", self.reloads.load(Ordering::Relaxed).to_value());
+        let mut map = ok_header("stats");
+        map.insert("uptime_ms", self.uptime_ms().to_value());
+        map.insert("workers", self.pool.workers().to_value());
+        map.insert("shards", self.config.effective_shards().to_value());
+        map.insert("counters", Value::Object(counters));
+        map.insert("cache", Value::Object(self.cache_map()));
+        map.insert("connections", Value::Object(self.connections_map()));
+        map.insert("structures", Value::Array(structures));
+        map
+    }
+
+    fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// The cache gauge object shared by `stats` and `metrics`. The
+    /// hit-rate is computed from per-shard-coherent (hits, misses)
+    /// pairs — see [`AnswerCache::stats`] and PROTOCOL.md § "Telemetry
+    /// consistency model".
+    fn cache_map(&self) -> Map {
         let c = self.cache.stats();
         let mut cache = Map::new();
         cache.insert("enabled", Value::Bool(self.cache.enabled()));
@@ -1050,9 +1309,15 @@ impl Server {
                 0.0f64.to_value()
             } else {
                 // Two decimals of percentage is plenty for a counter view.
+                #[allow(clippy::cast_precision_loss)]
                 (((c.hits as f64 / lookups as f64) * 10_000.0).round() / 10_000.0).to_value()
             },
         );
+        cache
+    }
+
+    /// The connection gauge object shared by `stats` and `metrics`.
+    fn connections_map(&self) -> Map {
         let mut connections = Map::new();
         connections.insert(
             "total",
@@ -1067,21 +1332,197 @@ impl Server {
             self.connections_refused.load(Ordering::Relaxed).to_value(),
         );
         connections.insert("max", self.config.max_connections.to_value());
-        let mut map = ok_header("stats");
-        map.insert(
-            "uptime_ms",
-            u64::try_from(self.started.elapsed().as_millis())
-                .unwrap_or(u64::MAX)
-                .to_value(),
-        );
+        connections
+    }
+
+    /// The `metrics` response: the full telemetry snapshot. Stage
+    /// histograms are reported merged across lanes and per active lane;
+    /// structure entries carry the query tally and the dimension
+    /// heatmap. With telemetry off only `enabled:false` and the gauges
+    /// are meaningful (histograms and heatmaps stay empty).
+    fn metrics(&self) -> Map {
+        let mut map = ok_header("metrics");
+        map.insert("enabled", Value::Bool(self.telemetry.enabled()));
+        map.insert("uptime_ms", self.uptime_ms().to_value());
+        let mut registry = Map::new();
+        registry.insert("structures", self.registry.len().to_value());
+        registry.insert("generation", self.registry.generation().to_value());
+        map.insert("registry", Value::Object(registry));
         map.insert("workers", self.pool.workers().to_value());
         map.insert("shards", self.config.effective_shards().to_value());
-        map.insert("counters", Value::Object(counters));
-        map.insert("cache", Value::Object(cache));
-        map.insert("connections", Value::Object(connections));
-        map.insert("structures", Value::Array(structures));
+        // Whole-server per-stage distributions (merged across lanes);
+        // stages nothing has recorded yet are omitted.
+        let mut stages = Map::new();
+        for stage in Stage::ALL {
+            let merged = self.telemetry.merged_stage(stage);
+            if merged.count() > 0 {
+                stages.insert(stage.as_str(), histogram_value(&merged));
+            }
+        }
+        map.insert("stages", Value::Object(stages));
+        // The same distributions split by recording lane (inline /
+        // shard-N / worker-N); idle lanes are omitted.
+        let mut lanes = Vec::new();
+        for lane_index in 0..self.telemetry.lane_count() {
+            let lane = self.telemetry.lane(lane_index);
+            let mut lane_stages = Map::new();
+            for stage in Stage::ALL {
+                let snap = lane.stage(stage).snapshot();
+                if snap.count() > 0 {
+                    lane_stages.insert(stage.as_str(), histogram_value(&snap));
+                }
+            }
+            if lane_stages.is_empty() {
+                continue;
+            }
+            let mut entry = Map::new();
+            entry.insert("name", Value::String(self.telemetry.lane_name(lane_index)));
+            entry.insert("stages", Value::Object(lane_stages));
+            lanes.push(Value::Object(entry));
+        }
+        map.insert("lanes", Value::Array(lanes));
+        // Per-structure: the query tally and the dimension heatmap (in
+        // name order — the BTreeMap behind the snapshot makes this
+        // deterministic, which the byte-stability test relies on).
+        let tallies = self.per_structure.merged();
+        let mut structures = Map::new();
+        for (name, heat) in self.telemetry.heat_snapshot() {
+            let mut entry = Map::new();
+            entry.insert(
+                "queries",
+                tallies.get(&name).copied().unwrap_or(0).to_value(),
+            );
+            let mut heat_map = Map::new();
+            heat_map.insert("total", heat.total.to_value());
+            heat_map.insert("bins", crate::telemetry::HEAT_BINS.to_value());
+            heat_map.insert(
+                "blocks",
+                Value::Array(
+                    heat.blocks
+                        .iter()
+                        .map(|(w, h)| {
+                            let axis = |bins: &[u64]| {
+                                Value::Array(bins.iter().map(|n| n.to_value()).collect())
+                            };
+                            let mut block = Map::new();
+                            block.insert("w", axis(w));
+                            block.insert("h", axis(h));
+                            Value::Object(block)
+                        })
+                        .collect(),
+                ),
+            );
+            entry.insert("heat", Value::Object(heat_map));
+            structures.insert(name, Value::Object(entry));
+        }
+        map.insert("structures", Value::Object(structures));
+        map.insert("cache", Value::Object(self.cache_map()));
+        let mut pool = Map::new();
+        pool.insert("workers", self.pool.workers().to_value());
+        map.insert("pool", Value::Object(pool));
+        map.insert("connections", Value::Object(self.connections_map()));
         map
     }
+
+    /// The `trace` response: drains the slow-request ring (worst
+    /// first). Draining resets the ring, so two back-to-back traces
+    /// never report the same request twice.
+    fn trace_map(&self) -> Map {
+        let entries = self.telemetry.slow_ring().drain();
+        let mut map = ok_header("trace");
+        map.insert("enabled", Value::Bool(self.telemetry.enabled()));
+        map.insert("capacity", self.telemetry.slow_ring().capacity().to_value());
+        map.insert(
+            "entries",
+            Value::Array(
+                entries
+                    .into_iter()
+                    .map(|e| {
+                        let mut entry = Map::new();
+                        entry.insert("kind", Value::String(e.kind.to_owned()));
+                        if let Some(structure) = e.structure {
+                            entry.insert("structure", Value::String(structure));
+                        }
+                        if let Some(req) = e.req {
+                            entry.insert("req", req.to_value());
+                        }
+                        entry.insert("total_ns", e.total_ns.to_value());
+                        entry.insert("at_ms", e.at_ms.to_value());
+                        let mut stages = Map::new();
+                        for (i, stage) in Stage::ALL.iter().enumerate() {
+                            if e.stages[i] > 0 {
+                                stages.insert(stage.as_str(), e.stages[i].to_value());
+                            }
+                        }
+                        entry.insert("stages", Value::Object(stages));
+                        Value::Object(entry)
+                    })
+                    .collect(),
+            ),
+        );
+        map
+    }
+
+    /// One summary line for the `--metrics-interval` stderr dump:
+    /// request totals, whole-server dispatch percentiles, cache hit
+    /// rate and the connection gauge.
+    #[must_use]
+    pub fn metrics_line(&self) -> String {
+        let dispatch = self.telemetry.merged_stage(Stage::Dispatch);
+        let c = self.cache.stats();
+        let lookups = c.hits + c.misses;
+        #[allow(clippy::cast_precision_loss)]
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            c.hits as f64 / lookups as f64
+        };
+        format!(
+            "requests={} errors={} dispatched={} dispatch_p50_ns={} dispatch_p99_ns={} \
+             dispatch_p999_ns={} cache_hit_rate={hit_rate:.4} connections_open={}",
+            self.requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            dispatch.count(),
+            dispatch.percentile(0.5),
+            dispatch.percentile(0.99),
+            dispatch.percentile(0.999),
+            self.connections_open.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A histogram snapshot as its `metrics` JSON object: totals, the
+/// p50/p99/p999 bucket upper bounds, and the non-empty buckets as
+/// `[upper_bound_ns, count]` pairs.
+fn histogram_value(snap: &HistogramSnapshot) -> Value {
+    let mut map = Map::new();
+    map.insert("count", snap.count().to_value());
+    map.insert("sum_ns", snap.sum().to_value());
+    map.insert("max_ns", snap.max().to_value());
+    map.insert("p50_ns", snap.percentile(0.5).to_value());
+    map.insert("p99_ns", snap.percentile(0.99).to_value());
+    map.insert("p999_ns", snap.percentile(0.999).to_value());
+    map.insert(
+        "buckets",
+        Value::Array(
+            snap.nonzero_buckets()
+                .into_iter()
+                .map(|(bound, count)| Value::Array(vec![bound.to_value(), count.to_value()]))
+                .collect(),
+        ),
+    );
+    Value::Object(map)
+}
+
+/// A structure's designer bounds flattened for a
+/// [`crate::telemetry::StructureHeat`] grid.
+fn heat_bounds(served: &ServedStructure) -> Vec<(i64, i64, i64, i64)> {
+    served
+        .structure()
+        .bounds()
+        .iter()
+        .map(|b| (b.w.lo(), b.w.hi(), b.h.lo(), b.h.hi()))
+        .collect()
 }
 
 /// State shared by the chunks of one fanned-out batch: each worker
@@ -1105,8 +1546,14 @@ impl Fanout {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
             return;
         }
+        // The assemble-side render span lands on whichever worker lane
+        // finishes last — the only thread that does this work.
+        let t = self.server.telemetry().enabled().then(Instant::now);
         let reply = catch_unwind(AssertUnwindSafe(|| self.assemble()))
             .unwrap_or_else(|_| self.internal_error());
+        if let Some(t) = t {
+            self.server.telemetry().record(Stage::Render, ns_since(t));
+        }
         // This can run inside another panic's unwind (the FinishGuard),
         // where a second panic would abort the process — so the sink
         // call is shielded even though the sinks only move bytes.
@@ -1163,7 +1610,7 @@ mod tests {
     use mps_geom::Coord;
     use mps_netlist::benchmarks;
 
-    fn test_server() -> Server {
+    fn test_registry() -> Arc<StructureRegistry> {
         let circuit = benchmarks::circ01();
         let config = GeneratorConfig::builder()
             .outer_iterations(30)
@@ -1173,7 +1620,11 @@ mod tests {
         let mps = MpsGenerator::new(&circuit, config).generate().unwrap();
         let registry = StructureRegistry::in_memory();
         registry.publish(ServedStructure::from_structure("circ01", mps));
-        Server::new(Arc::new(registry), 2)
+        Arc::new(registry)
+    }
+
+    fn test_server() -> Server {
+        Server::new(test_registry(), 2)
     }
 
     fn parse(line: &str) -> Value {
@@ -1423,27 +1874,30 @@ mod tests {
         pending.drain();
     }
 
-    /// Regression: a handler panicking while holding a shared lock
-    /// (here the per-structure counter) poisoned it, and every
-    /// subsequent request on *any* connection died in the old
-    /// `.expect("poisoned")` — one crashing request took down the whole
-    /// server. With recovery, later requests answer normally.
+    /// Regression, now structural: the per-structure query counters
+    /// used to sit behind one shared `Mutex<BTreeMap>`, so a handler
+    /// panicking while holding it poisoned every later request. The
+    /// striped counters have no server-wide lock to poison — a thread
+    /// dying right after touching them leaves later requests and
+    /// `stats` untouched (stripe-level poison recovery itself is
+    /// covered in the telemetry module's tests).
     #[test]
-    fn requests_survive_a_poisoned_shared_lock() {
-        let server = test_server();
+    fn requests_survive_a_panicking_handler_thread() {
+        let server = Arc::new(test_server());
         let dims = midpoint_dims(&server);
         let first = parse(&server.handle_line(&query_line(&dims)).unwrap());
         assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true));
-        let _ = catch_unwind(AssertUnwindSafe(|| {
-            let _guard = server.per_structure.lock().unwrap();
-            panic!("handler dies while holding the shared counter lock");
-        }));
-        assert!(server.per_structure.is_poisoned());
+        let counting = Arc::clone(&server);
+        let handle = std::thread::spawn(move || {
+            counting.per_structure.add("circ01", 1);
+            panic!("handler dies right after touching the shared counters");
+        });
+        assert!(handle.join().is_err(), "the thread must have panicked");
         let after = parse(&server.handle_line(&query_line(&dims)).unwrap());
         assert_eq!(
             after.get("ok").and_then(Value::as_bool),
             Some(true),
-            "a poisoned counter lock must not fail later requests: {after:?}"
+            "a dead counter-touching thread must not fail later requests: {after:?}"
         );
         let stats = parse(&server.handle_line(r#"{"kind":"stats"}"#).unwrap());
         assert_eq!(stats.get("ok").and_then(Value::as_bool), Some(true));
@@ -1829,5 +2283,199 @@ mod tests {
             .handle_line(&format!("{{\"id\":9,{}", &line[1..]))
             .unwrap();
         assert_eq!(tagged, format!("{{\"req\":9,{}", &first[1..]));
+    }
+
+    /// After a pipelined burst of `K` queries, the `metrics` response
+    /// accounts for exactly them: the dispatch histogram holds `K`
+    /// samples, the recorded stage time fits inside the wall clock the
+    /// burst actually took, and the dimension heatmap is non-empty for
+    /// exactly the structures queried.
+    #[test]
+    fn metrics_account_for_a_pipelined_burst() {
+        let server = test_server();
+        let dims = midpoint_dims(&server);
+        const BURST: usize = 12;
+        let started = Instant::now();
+        let mut one_line = query_line(&dims);
+        one_line.push('\n');
+        let stream = one_line.repeat(BURST).into_bytes();
+        let mut output = Vec::new();
+        server.serve(&stream[..], &mut output).unwrap();
+        assert_eq!(String::from_utf8(output).unwrap().lines().count(), BURST);
+        let metrics = parse(&server.handle_line(r#"{"kind":"metrics"}"#).unwrap());
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap();
+        assert_eq!(metrics.get("enabled").and_then(Value::as_bool), Some(true));
+        let stages = metrics.get("stages").and_then(Value::as_object).unwrap();
+        let dispatch = stages.get("dispatch").unwrap();
+        assert_eq!(
+            dispatch.get("count").and_then(Value::as_u64),
+            Some(BURST as u64),
+            "every burst request (and nothing else) dispatched: {dispatch:?}"
+        );
+        // The metrics request's own parse is recorded at admission,
+        // before its dispatch builds this snapshot.
+        let parse_stage = stages.get("parse").unwrap();
+        assert_eq!(
+            parse_stage.get("count").and_then(Value::as_u64),
+            Some(BURST as u64 + 1)
+        );
+        let recorded_ns = dispatch.get("sum_ns").and_then(Value::as_u64).unwrap()
+            + parse_stage.get("sum_ns").and_then(Value::as_u64).unwrap();
+        assert!(
+            recorded_ns <= wall_ns,
+            "stage sums ({recorded_ns} ns) cannot exceed the wall clock ({wall_ns} ns): \
+             every span was measured inside the burst on this one thread"
+        );
+        let structures = metrics
+            .get("structures")
+            .and_then(Value::as_object)
+            .unwrap();
+        assert_eq!(
+            structures.iter().map(|(name, _)| name).collect::<Vec<_>>(),
+            ["circ01"],
+            "the heatmap exists for exactly the structures queried"
+        );
+        let circ = structures.get("circ01").unwrap();
+        assert_eq!(
+            circ.get("queries").and_then(Value::as_u64),
+            Some(BURST as u64)
+        );
+        let heat = circ.get("heat").unwrap();
+        assert_eq!(
+            heat.get("total").and_then(Value::as_u64),
+            Some(BURST as u64)
+        );
+        let blocks = heat.get("blocks").and_then(Value::as_array).unwrap();
+        assert_eq!(blocks.len(), dims.len(), "one heat block per query axis");
+        for block in blocks {
+            let w_bins = block.get("w").and_then(Value::as_array).unwrap();
+            let total: u64 = w_bins.iter().filter_map(Value::as_u64).sum();
+            assert_eq!(total, BURST as u64, "every recorded vector lands in a bin");
+        }
+    }
+
+    /// Two fresh servers fed byte-identical request streams render
+    /// byte-identical `structures` sections: the heat grids and query
+    /// tallies are a pure function of the workload, so replaying a
+    /// capture reproduces them exactly.
+    #[test]
+    fn metrics_structures_section_is_byte_stable_across_replays() {
+        let probe = test_server();
+        let base = midpoint_dims(&probe);
+        let mut stream = String::new();
+        for spread in 0..6i64 {
+            let shifted: Dims = base
+                .iter()
+                .map(|&(w, h)| (w + spread, h - spread))
+                .collect();
+            stream.push_str(&query_line(&shifted));
+            stream.push('\n');
+        }
+        let replay = || {
+            let server = test_server();
+            let mut output = Vec::new();
+            server.serve(stream.as_bytes(), &mut output).unwrap();
+            let metrics = parse(&server.handle_line(r#"{"kind":"metrics"}"#).unwrap());
+            serde_json::to_string(metrics.get("structures").unwrap()).unwrap()
+        };
+        assert_eq!(
+            replay(),
+            replay(),
+            "replayed workloads must agree byte-for-byte"
+        );
+    }
+
+    /// `trace` drains the slow-request ring worst-first; the next drain
+    /// holds only what completed in between (here: the first `trace`
+    /// request itself).
+    #[test]
+    fn trace_drains_the_slow_ring_worst_first() {
+        let server = test_server();
+        let dims = midpoint_dims(&server);
+        for _ in 0..5 {
+            let _ = server.handle_line(&query_line(&dims)).unwrap();
+        }
+        let first = parse(&server.handle_line(r#"{"kind":"trace"}"#).unwrap());
+        assert_eq!(first.get("enabled").and_then(Value::as_bool), Some(true));
+        let entries = first.get("entries").and_then(Value::as_array).unwrap();
+        assert_eq!(entries.len(), 5, "every query is in the (unfilled) ring");
+        let totals: Vec<u64> = entries
+            .iter()
+            .map(|e| e.get("total_ns").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert!(
+            totals.windows(2).all(|pair| pair[0] >= pair[1]),
+            "entries drain worst-first: {totals:?}"
+        );
+        for entry in entries {
+            assert_eq!(entry.get("kind").and_then(Value::as_str), Some("query"));
+            assert_eq!(
+                entry.get("structure").and_then(Value::as_str),
+                Some("circ01")
+            );
+            let stages = entry.get("stages").and_then(Value::as_object).unwrap();
+            assert!(
+                stages.get("dispatch").and_then(Value::as_u64).unwrap() > 0,
+                "a drained entry carries its stage breakdown"
+            );
+        }
+        let second = parse(&server.handle_line(r#"{"kind":"trace"}"#).unwrap());
+        let entries = second.get("entries").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            entries.len(),
+            1,
+            "only the first trace request completed since"
+        );
+        assert_eq!(
+            entries[0].get("kind").and_then(Value::as_str),
+            Some("trace")
+        );
+    }
+
+    /// With `telemetry: false` every recording call short-circuits:
+    /// requests still answer, but `metrics` reports `enabled: false`
+    /// with empty histograms and `trace` drains nothing.
+    #[test]
+    fn disabled_telemetry_records_nothing_but_keeps_serving() {
+        let server = Server::with_config(
+            test_registry(),
+            ServerConfig {
+                workers: 2,
+                telemetry: false,
+                ..ServerConfig::default()
+            },
+        );
+        let dims = midpoint_dims(&server);
+        let response = parse(&server.handle_line(&query_line(&dims)).unwrap());
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+        let metrics = parse(&server.handle_line(r#"{"kind":"metrics"}"#).unwrap());
+        assert_eq!(metrics.get("enabled").and_then(Value::as_bool), Some(false));
+        assert!(
+            metrics
+                .get("stages")
+                .and_then(Value::as_object)
+                .unwrap()
+                .is_empty(),
+            "no stage histogram may record while telemetry is off"
+        );
+        assert!(
+            metrics
+                .get("structures")
+                .and_then(Value::as_object)
+                .unwrap()
+                .is_empty(),
+            "no heat grid may exist while telemetry is off"
+        );
+        let trace = parse(&server.handle_line(r#"{"kind":"trace"}"#).unwrap());
+        assert_eq!(trace.get("enabled").and_then(Value::as_bool), Some(false));
+        assert!(trace
+            .get("entries")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty());
+        // The per-structure tally in `stats` is independent of the
+        // telemetry knob: `stats` keeps its full meaning either way.
+        let stats = parse(&server.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        assert_eq!(stats.get("ok").and_then(Value::as_bool), Some(true));
     }
 }

@@ -25,14 +25,17 @@
 
 use crate::lock_recover;
 use crate::protocol::{tagged_error_response, ErrorKind, RequestError};
-use crate::server::{Admitted, ConnState, OpenConnGuard, Reply, ResponseSink, Server};
+use crate::server::{
+    ns_since, Admitted, ConnState, OpenConnGuard, Reply, ReqCtx, ResponseSink, Server,
+};
+use crate::telemetry::Stage;
 use netpoll::{raw_fd, Interest, Poller, WAKE_TOKEN};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A request line longer than this without a newline closes the
 /// connection: nothing in the protocol is remotely this large, so the
@@ -69,7 +72,11 @@ impl ShardSet {
             let loop_shard = Arc::clone(&shard);
             std::thread::Builder::new()
                 .name(format!("mps-serve-shard-{i}"))
-                .spawn(move || shard_loop(&server, &loop_shard))?;
+                .spawn(move || {
+                    // Lane 0 is the inline lane; shard lanes follow.
+                    server.telemetry().bind_lane(1 + i);
+                    shard_loop(&server, &loop_shard);
+                })?;
             shards.push(shard);
         }
         Ok(ShardSet {
@@ -148,8 +155,20 @@ impl Conn {
     /// complete line as it appears.
     fn drain_socket(&mut self, server: &Arc<Server>, shard: &Arc<Shard>, token: usize) {
         let mut scratch = [0u8; READ_CHUNK];
+        // One recv-stage sample per drain: the summed time the read()
+        // syscalls themselves took, not the inline request handling
+        // between them (that is parse/dispatch time, counted there).
+        let telemetry_on = server.telemetry().enabled();
+        let mut read_ns: u64 = 0;
+        let mut did_read = false;
         while !self.eof {
-            match self.stream.read(&mut scratch) {
+            let t = telemetry_on.then(Instant::now);
+            let outcome = self.stream.read(&mut scratch);
+            if let Some(t) = t {
+                read_ns = read_ns.saturating_add(ns_since(t));
+                did_read = true;
+            }
+            match outcome {
                 Ok(0) => self.eof = true,
                 Ok(n) => {
                     self.recv.extend(&scratch[..n]);
@@ -173,6 +192,9 @@ impl Conn {
                 Err(_) => self.eof = true,
             }
         }
+        if did_read {
+            server.telemetry().record(Stage::Recv, read_ns);
+        }
         if self.eof {
             // A final line without a trailing newline still gets its
             // answer, matching the BufRead::lines-based pumps.
@@ -193,6 +215,7 @@ impl Conn {
             Admitted::Run {
                 id: Some(id),
                 request,
+                parse_ns,
             } if server.is_heavy(&request) => {
                 self.pending += 1;
                 let shard = Arc::clone(shard);
@@ -200,10 +223,14 @@ impl Conn {
                     lock_recover(&shard.inbox).completions.push((token, reply));
                     let _ = shard.poller.wake();
                 });
-                server.submit_heavy(id, request, sink);
+                server.submit_heavy(id, request, parse_ns, sink);
             }
-            Admitted::Run { id, request } => {
-                let reply = server.complete(id, request, false);
+            Admitted::Run {
+                id,
+                request,
+                parse_ns,
+            } => {
+                let reply = server.complete(id, request, ReqCtx::inline(parse_ns));
                 self.out.push_reply(&reply);
             }
         }
@@ -217,8 +244,14 @@ impl Conn {
     /// deregistered entirely — the completion wake-up is its only next
     /// event, and a level-triggered EOF socket would otherwise spin the
     /// loop hot.
-    fn finalize(&mut self, poller: &Poller, token: usize) -> ConnFate {
-        if self.out.flush_to(&mut self.stream).is_err() {
+    fn finalize(&mut self, server: &Arc<Server>, poller: &Poller, token: usize) -> ConnFate {
+        let had_output = !self.out.is_empty();
+        let t = (had_output && server.telemetry().enabled()).then(Instant::now);
+        let flushed = self.out.flush_to(&mut self.stream);
+        if let Some(t) = t {
+            server.telemetry().record(Stage::Write, ns_since(t));
+        }
+        if flushed.is_err() {
             return ConnFate::Closed;
         }
         if self.eof && self.out.is_empty() && self.pending == 0 {
@@ -289,7 +322,7 @@ fn shard_loop(server: &Arc<Server>, shard: &Arc<Shard>) {
             // answers the common connect-send-immediately case without
             // an extra loop turn.
             conn.drain_socket(server, shard, token);
-            if conn.finalize(&shard.poller, token) == ConnFate::Alive {
+            if conn.finalize(server, &shard.poller, token) == ConnFate::Alive {
                 conns.insert(token, conn);
             }
         }
@@ -301,7 +334,7 @@ fn shard_loop(server: &Arc<Server>, shard: &Arc<Shard>) {
             };
             conn.pending -= 1;
             conn.out.push_reply(&reply);
-            if conn.finalize(&shard.poller, token) == ConnFate::Closed {
+            if conn.finalize(server, &shard.poller, token) == ConnFate::Closed {
                 remove_conn(&shard.poller, &mut conns, token);
             }
         }
@@ -316,7 +349,7 @@ fn shard_loop(server: &Arc<Server>, shard: &Arc<Shard>) {
                 // error; stop reading and let finalize settle the rest.
                 conn.eof = true;
             }
-            if conn.finalize(&shard.poller, event.token) == ConnFate::Closed {
+            if conn.finalize(server, &shard.poller, event.token) == ConnFate::Closed {
                 remove_conn(&shard.poller, &mut conns, event.token);
             }
         }

@@ -349,8 +349,11 @@ impl Workspace {
 
     /// Opens the workspace directory as a ready-to-pump [`Server`]:
     /// [`Workspace::serve_registry`] plus the serving knobs — worker
-    /// pool size and the sharded LRU answer cache (capacity / shard
-    /// count; `cache_entries` 0 disables caching). The returned server
+    /// pool size, the sharded LRU answer cache (capacity / shard
+    /// count; `cache_entries` 0 disables caching) and the telemetry
+    /// layer (`telemetry`, default on: per-stage latency histograms,
+    /// query-dimension heatmaps and the slow-request ring behind the
+    /// `metrics`/`trace` protocol requests). The returned server
     /// speaks the full `mps-serve` protocol (pipelined tagged requests,
     /// `reload` hot-swaps with all-or-nothing cache invalidation) over
     /// any `BufRead`/`Write` pair or a TCP listener.
