@@ -11,7 +11,8 @@
 //!     [--reload-interval-ms M] [--min-qps Q] [--require-cache-speedup S] \
 //!     [--scale-clients 64,256,1024] [--min-scaling X] \
 //!     [--fanout-batch N] [--require-fanout-speedup X] \
-//!     [--max-telemetry-overhead R]
+//!     [--max-telemetry-overhead R] [--require-refine-gain] \
+//!     [--refine-attempts N]
 //! ```
 //!
 //! Measured scenarios (each against a freshly spawned server on an
@@ -51,7 +52,19 @@
 //!   which `--max-telemetry-overhead R` caps (fail when the
 //!   telemetry-off QPS exceeds `R` times the telemetry-on QPS; skipped
 //!   with a warning on single-core machines, where the ratio measures
-//!   scheduling).
+//!   scheduling);
+//! * `refinement_before` / `refinement_after` — traffic-adaptive
+//!   refinement end to end in a scenario-private artifact directory: a
+//!   deliberately under-annealed structure takes concentrated hot-set
+//!   traffic, synchronous `refine` passes run until one is accepted
+//!   (the pass re-anneals the hot region, persists the winner
+//!   atomically and hot-swaps it), then the *refined* structure serves
+//!   the same stream, every answer diffed against the reloaded
+//!   artifact. The record — hot-set instantiation cost before/after
+//!   (server- and client-side), publish count, divergences — goes to
+//!   `out/BENCH_refine.json`; `--require-refine-gain` fails the run
+//!   unless ≥ 1 pass was accepted with a strict cost improvement
+//!   (skipped with a warning on single-core machines).
 //!
 //! After every scenario the server's own `metrics` snapshot is fetched
 //! and its dispatch-stage p99 cross-checked against the client-observed
@@ -501,7 +514,7 @@ fn main() {
                  [--reload-interval-ms M] [--min-qps Q] [--require-cache-speedup S] \
                  [--scale-clients 64,256,1024] [--min-scaling X] \
                  [--fanout-batch N] [--require-fanout-speedup X] \
-                 [--max-telemetry-overhead R]"
+                 [--max-telemetry-overhead R] [--require-refine-gain] [--refine-attempts N]"
             );
             std::process::exit(2);
         });
@@ -542,6 +555,7 @@ fn main() {
     let fanout_batch: usize = arg_value("fanout-batch").unwrap_or(512);
     let require_fanout_speedup: f64 = arg_value("require-fanout-speedup").unwrap_or(0.0);
     let max_telemetry_overhead: f64 = arg_value("max-telemetry-overhead").unwrap_or(0.0);
+    let require_refine_gain = std::env::args().any(|a| a == "--require-refine-gain");
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
     // The scaling gate compares uniform QPS at `cores` clients to the
@@ -974,6 +988,193 @@ fn main() {
     // > 1 means recording costs throughput; the gate caps the ratio.
     let telemetry_overhead = telemetry_off.qps / telemetry_on.qps.max(1e-9);
 
+    // --- Refinement scenario ------------------------------------------
+    // Traffic-adaptive refinement end to end against the real binary: a
+    // scenario-private directory gets a deliberately under-annealed
+    // structure (the refiner rewrites artifacts on disk, so the shared
+    // directory must stay untouched), clients concentrate their traffic
+    // on one region of dims-space, refinement passes run until one is
+    // accepted, and the refined structure then serves the same stream —
+    // zero divergence, zero interruption, improved hot-set cost.
+    let refine_attempts_cap: usize = arg_value("refine-attempts").unwrap_or(12);
+    let refine_dir = std::env::temp_dir().join(format!("loadgen_refine_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&refine_dir);
+    std::fs::create_dir_all(&refine_dir)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", refine_dir.display())));
+    let refine_circuit = benchmarks::circ01();
+    let weak = mps_core::MpsGenerator::new(
+        &refine_circuit,
+        mps_core::GeneratorConfig::builder()
+            .outer_iterations(10)
+            .inner_iterations(10)
+            .seed(0x0EF1)
+            .build(),
+    )
+    .generate()
+    .unwrap_or_else(|e| {
+        fail(&format!(
+            "cannot generate the refinement seed structure: {e}"
+        ))
+    });
+    let refine_path = refine_dir.join("circ01.mps.json");
+    weak.save_json(&refine_path)
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", refine_path.display())));
+
+    // The hot set: every axis pinned to its lowest tenth, so the
+    // server's heatmap concentrates in one bin per axis — the signal
+    // the refiner keys on.
+    let refine_hot: Vec<Dims> = (0..16)
+        .map(|k: i64| {
+            weak.bounds()
+                .iter()
+                .map(|b| {
+                    let probe = |i: &mps_geom::Interval| {
+                        let tenth = (i64::try_from(i.len()).unwrap_or(i64::MAX) / 10).max(1);
+                        i.lo() + (k * 5) % tenth
+                    };
+                    (probe(&b.w), probe(&b.h))
+                })
+                .collect()
+        })
+        .collect();
+    // The client-side view of the server's acceptance metric: summed
+    // instantiated-placement bounding-box area over the hot set.
+    let hot_cost = |mps: &MultiPlacementStructure| -> u64 {
+        refine_hot
+            .iter()
+            .map(|dims| {
+                let placement = mps.instantiate_or_fallback(dims);
+                placement.bounding_box(dims).map_or(0, |bbox| bbox.area())
+            })
+            .fold(0u64, u64::saturating_add)
+    };
+    let client_cost_before = hot_cost(&weak);
+
+    // `--refine on` exercises the worker spawn path; the long interval
+    // keeps publishes out of the measured phases so every response can
+    // be diffed against a known version — the passes themselves are
+    // triggered synchronously through the protocol below.
+    let server = spawn_server(
+        &server_bin,
+        &refine_dir,
+        &["--refine", "on", "--refine-interval", "3600"],
+    );
+    eprintln!("loadgen: refinement x2 against {}", server.addr);
+    let refine_pool_before: Arc<Vec<PoolEntry>> = Arc::new(
+        (0..pool_len)
+            .map(|k| query_entry("circ01", &weak, &refine_hot[k % refine_hot.len()]))
+            .collect(),
+    );
+    let before = run_scenario(
+        &server.addr,
+        2,
+        requests,
+        pipeline,
+        &refine_pool_before,
+        None,
+    );
+    total_divergences += before.divergences;
+    total_refusals += before.refusals;
+    record("refinement_before", 2, &before);
+
+    let mut refine_attempts = 0u64;
+    let mut refine_publishes = 0u64;
+    let (mut server_cost_before, mut server_cost_after, mut refine_gain_ppm) = (0u64, 0u64, 0u64);
+    {
+        let stream = TcpStream::connect(&*server.addr)
+            .unwrap_or_else(|e| fail(&format!("refine trigger: {e}")));
+        let _ = stream.set_nodelay(true);
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = stream;
+        for _ in 0..refine_attempts_cap {
+            refine_attempts += 1;
+            writeln!(writer, r#"{{"kind":"refine","structure":"circ01"}}"#)
+                .unwrap_or_else(|e| fail(&format!("refine trigger: {e}")));
+            let mut line = String::new();
+            reader
+                .read_line(&mut line)
+                .unwrap_or_else(|e| fail(&format!("refine response: {e}")));
+            let value: Value = serde_json::parse(line.trim_end())
+                .unwrap_or_else(|e| fail(&format!("unparsable refine response: {e}: {line}")));
+            if value.get("ok").and_then(Value::as_bool) != Some(true) {
+                fail(&format!("refine refused: {line}"));
+            }
+            match value.get("outcome").and_then(Value::as_str) {
+                Some("accepted") => {
+                    refine_publishes += 1;
+                    server_cost_before = value
+                        .get("cost_before")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0);
+                    server_cost_after =
+                        value.get("cost_after").and_then(Value::as_u64).unwrap_or(0);
+                    refine_gain_ppm = value.get("gain_ppm").and_then(Value::as_u64).unwrap_or(0);
+                    break;
+                }
+                Some("rejected" | "no_candidate") => {}
+                other => fail(&format!("unexpected refine outcome {other:?}: {line}")),
+            }
+        }
+    }
+
+    // The accepted pass persisted the winner before publishing it, so
+    // the scenario-private artifact now *is* the served structure: the
+    // reloaded reference must answer the second measured phase.
+    let refined = MultiPlacementStructure::load_json(&refine_path)
+        .unwrap_or_else(|e| fail(&format!("cannot reload {}: {e}", refine_path.display())));
+    let client_cost_after = hot_cost(&refined);
+    let refine_pool_after: Arc<Vec<PoolEntry>> = Arc::new(
+        (0..pool_len)
+            .map(|k| query_entry("circ01", &refined, &refine_hot[k % refine_hot.len()]))
+            .collect(),
+    );
+    let after = run_scenario(
+        &server.addr,
+        2,
+        requests,
+        pipeline,
+        &refine_pool_after,
+        None,
+    );
+    total_divergences += after.divergences;
+    total_refusals += after.refusals;
+    record("refinement_after", 2, &after);
+    let refine_stats = stats_snapshot(&server.addr);
+    let refinement_counters = refine_stats
+        .get("refinement")
+        .cloned()
+        .unwrap_or(Value::Null);
+    drop(server);
+
+    let mut refine_record = Map::new();
+    refine_record.insert("bench", Value::String("refinement".to_owned()));
+    refine_record.insert("structure", Value::String("circ01".to_owned()));
+    refine_record.insert("hot_set", refine_hot.len().to_value());
+    refine_record.insert("attempts", refine_attempts.to_value());
+    refine_record.insert("publishes", refine_publishes.to_value());
+    refine_record.insert("server_cost_before", server_cost_before.to_value());
+    refine_record.insert("server_cost_after", server_cost_after.to_value());
+    refine_record.insert("gain_ppm", refine_gain_ppm.to_value());
+    refine_record.insert("client_cost_before", client_cost_before.to_value());
+    refine_record.insert("client_cost_after", client_cost_after.to_value());
+    refine_record.insert("qps_before", before.qps.round().to_value());
+    refine_record.insert("qps_after", after.qps.round().to_value());
+    refine_record.insert(
+        "divergences",
+        (before.divergences + after.divergences).to_value(),
+    );
+    refine_record.insert("refusals", (before.refusals + after.refusals).to_value());
+    refine_record.insert("require_refine_gain", require_refine_gain.to_value());
+    refine_record.insert("cores", cores.to_value());
+    refine_record.insert("refinement", refinement_counters);
+    let path = write_artifact(
+        "BENCH_refine.json",
+        &serde_json::to_string_pretty(&Value::Object(refine_record))
+            .expect("value trees serialize"),
+    );
+    eprintln!("wrote {}", path.display());
+    let _ = std::fs::remove_dir_all(&refine_dir);
+
     // --- Report -------------------------------------------------------
     println!(
         "\nServing load ({} structure(s), {requests} reqs/client, pipeline depth {pipeline})",
@@ -1009,6 +1210,11 @@ fn main() {
         "telemetry on vs off (best of 3): {:.0} vs {:.0} req/s \
          (off/on {telemetry_overhead:.3}x)",
         telemetry_on.qps, telemetry_off.qps
+    );
+    println!(
+        "refinement: {refine_publishes} publish(es) in {refine_attempts} attempt(s), \
+         hot-set cost {server_cost_before} -> {server_cost_after} \
+         (gain {refine_gain_ppm} ppm, client-side {client_cost_before} -> {client_cost_after})"
     );
     if uniform_qps_at_1 > 0.0 && uniform_qps_at_cores > 0.0 {
         println!(
@@ -1097,6 +1303,9 @@ fn main() {
         "measured_telemetry_overhead",
         ((telemetry_overhead * 1000.0).round() / 1000.0).to_value(),
     );
+    gates.insert("require_refine_gain", require_refine_gain.to_value());
+    gates.insert("measured_refine_publishes", refine_publishes.to_value());
+    gates.insert("measured_refine_gain_ppm", refine_gain_ppm.to_value());
     top.insert("gates", Value::Object(gates.clone()));
     let path = write_artifact(
         "BENCH_loadgen.json",
@@ -1181,6 +1390,27 @@ fn main() {
             fail(&format!(
                 "{fanout_batch}-vector batches are only {fanout_speedup:.2}x faster with the \
                  full pool than with 1 worker, below the required {require_fanout_speedup:.2}x"
+            ));
+        }
+    }
+    if require_refine_gain {
+        if cores < 2 {
+            // On one core the re-anneal contends with the serving
+            // threads whose traffic it is supposed to improve — same
+            // self-skip as the other parallelism-dependent gates.
+            eprintln!(
+                "loadgen: WARN: --require-refine-gain skipped — only {cores} core(s), \
+                 the refinement pass would measure scheduler contention"
+            );
+        } else if refine_publishes == 0 {
+            fail(&format!(
+                "no refinement pass was accepted in {refine_attempts} attempt(s) against \
+                 the deliberately under-annealed scenario structure"
+            ));
+        } else if server_cost_after >= server_cost_before {
+            fail(&format!(
+                "the accepted refinement pass did not improve the hot-set instantiation \
+                 cost ({server_cost_before} -> {server_cost_after})"
             ));
         }
     }

@@ -57,6 +57,7 @@ mod invariant;
 pub mod parallel;
 #[cfg(feature = "serde")]
 mod persist;
+mod refine;
 mod resolve;
 mod structure;
 mod synthesis;
@@ -74,5 +75,6 @@ pub use persist::{
     PersistError, BIN_MAGIC as PERSIST_BIN_MAGIC, BIN_VERSION as PERSIST_BIN_VERSION,
     FORMAT as PERSIST_FORMAT,
 };
+pub use refine::{refine_region, refine_region_with_circuit, RefineError, RefineReport};
 pub use structure::MultiPlacementStructure;
 pub use synthesis::{PerformanceModel, SynthesisLoop, SynthesisOutcome};

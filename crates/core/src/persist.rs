@@ -128,6 +128,40 @@ impl From<binfmt::Error> for PersistError {
     }
 }
 
+/// Monotone discriminator so concurrent writers in one process never
+/// collide on a temp name.
+static TEMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: the payload goes to a unique
+/// sibling temp file first, then `rename(2)` moves it into place. On
+/// Linux the rename is atomic, so a reader (or a serving-directory scan)
+/// observes either the complete old file or the complete new file —
+/// never a partial write, even if the writer is killed mid-save. The
+/// temp name ends in `.tmp`, an extension every artifact scanner
+/// ignores.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("artifact path has no file name"))?;
+    let discriminator = TEMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp_name = format!(
+        ".{}.{}.{discriminator}.tmp",
+        file_name.to_string_lossy(),
+        std::process::id()
+    );
+    let tmp = match parent {
+        Some(dir) => dir.join(tmp_name),
+        None => std::path::PathBuf::from(tmp_name),
+    };
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        // Don't leave the orphan behind when the rename itself fails
+        // (cross-device target, permission change, …).
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 impl MultiPlacementStructure {
     fn envelope(&self) -> serde_json::Value {
         let mut map = serde_json::Map::new();
@@ -190,13 +224,16 @@ impl MultiPlacementStructure {
         Ok(mps)
     }
 
-    /// Writes the compact envelope to a file.
+    /// Writes the compact envelope to a file **atomically** (temp file +
+    /// rename): a crash mid-save — now a live possibility with the
+    /// background refiner persisting into serving directories — can
+    /// never leave a truncated artifact under the destination name.
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] when the file cannot be written.
     pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        std::fs::write(path, self.to_json())?;
+        write_atomic(path.as_ref(), self.to_json().as_bytes())?;
         Ok(())
     }
 
@@ -254,13 +291,14 @@ impl MultiPlacementStructure {
     }
 
     /// Writes the mps-v2 binary artifact to a file (conventionally
-    /// `<name>.mpsb`).
+    /// `<name>.mpsb`) **atomically** (temp file + rename), with the same
+    /// crash-safety guarantee as [`MultiPlacementStructure::save_json`].
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] when the file cannot be written.
     pub fn save_bin(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        std::fs::write(path, self.to_bin())?;
+        write_atomic(path.as_ref(), &self.to_bin())?;
         Ok(())
     }
 
@@ -519,6 +557,76 @@ mod tests {
             MultiPlacementStructure::load_json("/nonexistent/path/to/structure.json"),
             Err(PersistError::Io(_))
         ));
+    }
+
+    #[test]
+    fn saves_never_expose_partial_files_to_concurrent_readers() {
+        // The kill-mid-write regression: with plain `fs::write`, a
+        // reader racing a writer observes truncated envelopes. With
+        // temp-file + rename, every open sees a complete artifact. A
+        // writer thread rewrites the same path in a tight loop while a
+        // reader loads it continuously; any Decode/BinDecode error is
+        // the corruption this test exists to rule out.
+        let mps = sample_structure();
+        let path = std::env::temp_dir().join(format!(
+            "mps_persist_atomic_test_{}.mpsb",
+            std::process::id()
+        ));
+        mps.save_bin(&path).unwrap();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..200 {
+                    if i % 2 == 0 {
+                        mps.save_bin(&path).unwrap();
+                    } else {
+                        mps.save_json(&path).unwrap();
+                    }
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            });
+            s.spawn(|| {
+                let mut loads = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) || loads == 0 {
+                    let back = MultiPlacementStructure::load_auto(&path)
+                        .expect("reader observed a partial artifact");
+                    assert_eq!(back.to_json(), mps.to_json());
+                    loads += 1;
+                }
+            });
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crashed_writer_leftovers_do_not_shadow_the_artifact() {
+        // A writer killed between the temp write and the rename leaves
+        // `.<name>.<pid>.<n>.tmp` debris. The destination must still
+        // load, and a later save must still succeed.
+        let mps = sample_structure();
+        let dir = std::env::temp_dir().join(format!("mps_persist_crash_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("structure.json");
+        mps.save_json(&path).unwrap();
+        std::fs::write(dir.join(".structure.json.9999.0.tmp"), b"{\"trunc").unwrap();
+        let back = MultiPlacementStructure::load_json(&path).unwrap();
+        assert_eq!(back.to_json(), mps.to_json());
+        mps.save_json(&path).unwrap();
+        // No temp debris from *successful* saves.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy().into_owned();
+                name.ends_with(".tmp") && !name.contains("9999")
+            })
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "saves leaked temp files: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -57,6 +57,8 @@ mod pool;
 #[cfg(feature = "serde")]
 mod protocol;
 #[cfg(feature = "serde")]
+mod refine;
+#[cfg(feature = "serde")]
 mod registry;
 #[cfg(feature = "serde")]
 mod server;

@@ -5,6 +5,7 @@
 //! mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N] [--shards N]
 //!           [--max-connections N] [--cache-entries N] [--cache-shards N]
 //!           [--telemetry on|off] [--metrics-interval SECS]
+//!           [--refine on|off] [--refine-interval SECS]
 //! mps-serve convert <IN> <OUT>
 //! ```
 //!
@@ -42,7 +43,16 @@
 //! histograms, query-dimension heatmaps, the slow-request ring; default
 //! on — the `metrics` and `trace` protocol requests report it either
 //! way). `--metrics-interval SECS` prints a one-line telemetry summary
-//! to stderr every `SECS` seconds (0, the default, prints none). See
+//! to stderr every `SECS` seconds (0, the default, prints none).
+//!
+//! `--refine on` starts the traffic-adaptive refinement worker: every
+//! `--refine-interval SECS` (default 30) it reads the query-dimension
+//! heatmaps, picks the hottest structure whose traffic concentrates in
+//! a region of dims-space, re-anneals that region, and — only when the
+//! hot-set instantiated-placement cost strictly improves and the full
+//! invariant battery passes — persists the winner back to its artifact
+//! (atomically) and hot-swaps it into serving. Default off; the
+//! synchronous `refine` protocol request works regardless. See
 //! `crates/serve/PROTOCOL.md` for the full wire contract.
 
 use mps_core::MultiPlacementStructure;
@@ -54,7 +64,8 @@ use std::sync::Arc;
 
 const USAGE: &str = "usage: mps-serve <ARTIFACT_DIR> [--tcp PORT] [--workers N] [--shards N] \
                      [--max-connections N] [--cache-entries N] [--cache-shards N]\n\
-                     \x20                [--telemetry on|off] [--metrics-interval SECS]\n\
+                     \x20                [--telemetry on|off] [--metrics-interval SECS] \
+                     [--refine on|off] [--refine-interval SECS]\n\
                      \x20      mps-serve convert <IN> <OUT>   (artifact format by extension: \
                      .json = mps-v1, .mpsb = mps-v2)";
 
@@ -148,6 +159,15 @@ fn main() -> ExitCode {
                 Some(Ok(secs)) => metrics_interval = secs,
                 _ => return usage(),
             },
+            "--refine" => match it.next().as_deref() {
+                Some("on") => config.refine = true,
+                Some("off") => config.refine = false,
+                _ => return usage(),
+            },
+            "--refine-interval" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(secs)) => config.refine_interval_secs = secs,
+                _ => return usage(),
+            },
             "--help" | "-h" => {
                 // An explicit help request is a success, not an error.
                 println!("{USAGE}");
@@ -187,6 +207,16 @@ fn main() -> ExitCode {
         config.effective_shards()
     );
     let server = Arc::new(Server::with_config(Arc::clone(&registry), config));
+
+    // The background refinement worker (a no-op unless `--refine on`):
+    // detached like the metrics thread; it holds only a weak server
+    // reference and exits when the server drops.
+    if server.spawn_refiner().is_some() {
+        eprintln!(
+            "mps-serve: refinement worker on ({}s interval)",
+            server.config().refine_interval_secs.max(1)
+        );
+    }
 
     // Optional periodic one-line telemetry summary on stderr. The
     // thread is detached on purpose: it only reads atomics and dies

@@ -35,7 +35,7 @@ use mps_geom::{Coord, Dims, DimsError};
 use serde::{Map, Serialize, Value};
 
 /// Every request kind the server understands, as spelled on the wire.
-pub const REQUEST_KINDS: [&str; 8] = [
+pub const REQUEST_KINDS: [&str; 9] = [
     "query",
     "batch_query",
     "instantiate",
@@ -44,6 +44,7 @@ pub const REQUEST_KINDS: [&str; 8] = [
     "list_structures",
     "metrics",
     "trace",
+    "refine",
 ];
 
 /// A parsed, not-yet-validated client request.
@@ -89,6 +90,18 @@ pub enum Request {
     /// Drain the slow-request ring: the N worst requests since the last
     /// `trace`, each with its per-stage time breakdown.
     Trace,
+    /// Traffic-adaptive refinement: trigger one synchronous refinement
+    /// pass now (`"action":"run"`, the default) or report the
+    /// refinement counters without running anything
+    /// (`"action":"status"`). Works whether or not the background
+    /// refinement worker is enabled.
+    Refine {
+        /// Run a pass (`true`) or only report status (`false`).
+        run: bool,
+        /// Restrict the pass to this structure instead of letting the
+        /// heat-based candidate selection pick one.
+        structure: Option<String>,
+    },
 }
 
 impl Request {
@@ -104,6 +117,7 @@ impl Request {
             Request::ListStructures => "list_structures",
             Request::Metrics => "metrics",
             Request::Trace => "trace",
+            Request::Refine { .. } => "refine",
         }
     }
 
@@ -114,6 +128,7 @@ impl Request {
             Request::Query { structure, .. }
             | Request::BatchQuery { structure, .. }
             | Request::Instantiate { structure, .. } => Some(structure),
+            Request::Refine { structure, .. } => structure.as_deref(),
             _ => None,
         }
     }
@@ -318,6 +333,37 @@ fn parse_request_body(obj: &Map) -> Result<Request, RequestError> {
         "list_structures" => Ok(Request::ListStructures),
         "metrics" => Ok(Request::Metrics),
         "trace" => Ok(Request::Trace),
+        "refine" => {
+            let run = match obj.get("action") {
+                None => true,
+                Some(action) => match action.as_str() {
+                    Some("run") => true,
+                    Some("status") => false,
+                    Some(other) => {
+                        return Err(RequestError::new(
+                            ErrorKind::Protocol,
+                            format!("unknown refine `action` `{other}` (this server speaks run, status)"),
+                        ));
+                    }
+                    None => {
+                        return Err(RequestError::new(
+                            ErrorKind::Protocol,
+                            format!("`action` must be a string, found {}", action.kind()),
+                        ));
+                    }
+                },
+            };
+            let structure = match obj.get("structure") {
+                None => None,
+                Some(value) => Some(value.as_str().map(str::to_owned).ok_or_else(|| {
+                    RequestError::new(
+                        ErrorKind::Protocol,
+                        format!("`structure` must be a string, found {}", value.kind()),
+                    )
+                })?),
+            };
+            Ok(Request::Refine { run, structure })
+        }
         other => Err(RequestError::new(
             ErrorKind::UnknownKind,
             format!(
@@ -539,6 +585,47 @@ mod tests {
             parse_request(r#"{"kind":"trace"}"#).unwrap(),
             Request::Trace
         );
+        assert_eq!(
+            parse_request(r#"{"kind":"refine"}"#).unwrap(),
+            Request::Refine {
+                run: true,
+                structure: None,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"refine","action":"status"}"#).unwrap(),
+            Request::Refine {
+                run: false,
+                structure: None,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"refine","action":"run","structure":"circ01"}"#).unwrap(),
+            Request::Refine {
+                run: true,
+                structure: Some("circ01".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_refine_requests_are_typed_protocol_errors() {
+        let kind_of = |line: &str| parse_request(line).unwrap_err().kind;
+        assert_eq!(
+            kind_of(r#"{"kind":"refine","action":"now"}"#),
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            kind_of(r#"{"kind":"refine","action":7}"#),
+            ErrorKind::Protocol
+        );
+        assert_eq!(
+            kind_of(r#"{"kind":"refine","structure":[1]}"#),
+            ErrorKind::Protocol
+        );
+        // The optional structure surfaces through structure_name.
+        let req = parse_request(r#"{"kind":"refine","structure":"s"}"#).unwrap();
+        assert_eq!(req.structure_name(), Some("s"));
     }
 
     #[test]
@@ -553,6 +640,7 @@ mod tests {
                 "batch_query" => {
                     format!(r#"{{"kind":"{kind}","structure":"s","dims_list":[[[1,2]]]}}"#)
                 }
+                // `refine` needs no members; the bare form is "run now".
                 _ => format!(r#"{{"kind":"{kind}"}}"#),
             };
             let request = parse_request(&body).unwrap();

@@ -175,6 +175,18 @@ impl ServedStructure {
         })
     }
 
+    /// Attaches (or replaces) the backing artifact path. The refinement
+    /// worker rebuilds a served structure in memory via
+    /// [`ServedStructure::try_from_structure`] — which can't know the
+    /// path — and then re-binds the original artifact file so the
+    /// improved structure persists to the same place its predecessor
+    /// was loaded from.
+    #[must_use]
+    pub fn with_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+
     /// The name clients address the structure by (the artifact file stem,
     /// `circ02` for `circ02.mps.json`).
     #[must_use]

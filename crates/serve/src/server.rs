@@ -104,6 +104,14 @@ pub struct ServerConfig {
     /// `metrics` response reports `"enabled":false` (the loadgen
     /// overhead gate measures exactly this difference).
     pub telemetry: bool,
+    /// Whether [`Server::spawn_refiner`] actually starts the background
+    /// refinement worker (off by default — refinement spends anneal
+    /// cycles and rewrites artifacts, so it is strictly opt-in). The
+    /// synchronous `refine` protocol request works either way.
+    pub refine: bool,
+    /// Seconds between background refinement passes (clamped to at
+    /// least 1). Only meaningful with `refine` on.
+    pub refine_interval_secs: u64,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +123,8 @@ impl Default for ServerConfig {
             shards: 0,
             max_connections: 4096,
             telemetry: true,
+            refine: false,
+            refine_interval_secs: 30,
         }
     }
 }
@@ -288,6 +298,7 @@ pub struct Server {
     connections_refused: AtomicU64,
     per_structure: StripedCounters,
     telemetry: Arc<Telemetry>,
+    refine_stats: crate::refine::RefineStats,
 }
 
 impl Server {
@@ -342,7 +353,48 @@ impl Server {
             connections_refused: AtomicU64::new(0),
             per_structure: StripedCounters::new(STRUCTURE_COUNTER_STRIPES),
             telemetry,
+            refine_stats: crate::refine::RefineStats::default(),
         }
+    }
+
+    /// The refinement counters (see [`crate::refine`]).
+    pub(crate) fn refine_stats(&self) -> &crate::refine::RefineStats {
+        &self.refine_stats
+    }
+
+    /// Starts the background refinement worker when the configuration
+    /// enables it ([`ServerConfig::refine`]): a detached thread that
+    /// wakes every [`ServerConfig::refine_interval_secs`], runs one
+    /// refinement pass (select a hot concentrated structure, re-anneal
+    /// its hot region, publish on strict hot-set improvement — the
+    /// `refine` module documents the pass), and exits when the server is
+    /// dropped. Returns `None` when refinement is off.
+    pub fn spawn_refiner(self: &Arc<Self>) -> Option<std::thread::JoinHandle<()>> {
+        if !self.config.refine {
+            return None;
+        }
+        let weak = Arc::downgrade(self);
+        let interval = std::time::Duration::from_secs(self.config.refine_interval_secs.max(1));
+        Some(
+            std::thread::Builder::new()
+                .name("mps-serve-refine".to_owned())
+                .spawn(move || crate::refine::worker_loop(&weak, interval))
+                .expect("spawning the refinement worker thread"),
+        )
+    }
+
+    /// Counts and renders a refusal that never reached `admit` — the
+    /// shard loop's oversized-line guard drops the buffered bytes
+    /// before they could be parsed as a request. The refusal still
+    /// costs one request + one error in the counters and records a
+    /// zero-length parse span, so refused traffic stays visible in the
+    /// `metrics` parse-stage counts exactly like parse failures that
+    /// did reach the parser.
+    pub(crate) fn refuse_preadmission(&self, error: &RequestError) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.record(Stage::Parse, 0);
+        tagged_error_response(None, error)
     }
 
     /// The telemetry hub shared by every serving thread.
@@ -767,6 +819,10 @@ impl Server {
                 !self.cache.peek(CacheClass::Instantiate, structure, dims)
             }
             Request::BatchQuery { dims_list, .. } => dims_list.len() >= PARALLEL_BATCH_THRESHOLD,
+            // A triggered refinement pass re-anneals a structure —
+            // milliseconds to seconds of CPU; it must never block the
+            // pipelined stream behind it.
+            Request::Refine { run, .. } => *run,
             _ => false,
         }
     }
@@ -1129,6 +1185,39 @@ impl Server {
             Request::Stats => Ok(Outcome::Map(self.stats())),
             Request::Metrics => Ok(Outcome::Map(self.metrics())),
             Request::Trace => Ok(Outcome::Map(self.trace_map())),
+            Request::Refine { run, structure } => {
+                let mut map = ok_header("refine");
+                map.insert("ran", Value::Bool(run));
+                if run {
+                    match crate::refine::run_pass(self, structure.as_deref()) {
+                        crate::refine::RefineOutcome::NoCandidate { reason } => {
+                            map.insert("outcome", Value::String("no_candidate".to_owned()));
+                            map.insert("reason", Value::String(reason));
+                        }
+                        crate::refine::RefineOutcome::Rejected { structure, reason } => {
+                            map.insert("outcome", Value::String("rejected".to_owned()));
+                            map.insert("structure", Value::String(structure));
+                            map.insert("reason", Value::String(reason));
+                        }
+                        crate::refine::RefineOutcome::Accepted {
+                            structure,
+                            cost_before,
+                            cost_after,
+                            gain_ppm,
+                            generation,
+                        } => {
+                            map.insert("outcome", Value::String("accepted".to_owned()));
+                            map.insert("structure", Value::String(structure));
+                            map.insert("cost_before", cost_before.to_value());
+                            map.insert("cost_after", cost_after.to_value());
+                            map.insert("gain_ppm", gain_ppm.to_value());
+                            map.insert("generation", generation.to_value());
+                        }
+                    }
+                }
+                map.insert("refinement", Value::Object(self.refinement_map()));
+                Ok(Outcome::Map(map))
+            }
             Request::ListStructures => {
                 let mut map = ok_header("list_structures");
                 map.insert(
@@ -1279,7 +1368,37 @@ impl Server {
         map.insert("counters", Value::Object(counters));
         map.insert("cache", Value::Object(self.cache_map()));
         map.insert("connections", Value::Object(self.connections_map()));
+        map.insert("refinement", Value::Object(self.refinement_map()));
         map.insert("structures", Value::Array(structures));
+        map
+    }
+
+    /// The refinement gauge object shared by `stats`, `metrics` and the
+    /// `refine` status response: the background-worker knobs plus the
+    /// pass counters (see [`crate::refine`] and PROTOCOL.md).
+    fn refinement_map(&self) -> Map {
+        let s = self.refine_stats();
+        let mut map = Map::new();
+        map.insert("enabled", Value::Bool(self.config.refine));
+        map.insert("interval_secs", self.config.refine_interval_secs.to_value());
+        map.insert("attempted", s.attempted.load(Ordering::Relaxed).to_value());
+        map.insert("accepted", s.accepted.load(Ordering::Relaxed).to_value());
+        map.insert("rejected", s.rejected.load(Ordering::Relaxed).to_value());
+        map.insert(
+            "last_gain_ppm",
+            s.last_gain_ppm.load(Ordering::Relaxed).to_value(),
+        );
+        map.insert(
+            "last_generation",
+            s.last_generation.load(Ordering::Relaxed).to_value(),
+        );
+        map.insert(
+            "active",
+            match crate::lock_recover(&s.active).as_deref() {
+                Some(name) => Value::String(name.to_owned()),
+                None => Value::Null,
+            },
+        );
         map
     }
 
@@ -1421,6 +1540,7 @@ impl Server {
         pool.insert("workers", self.pool.workers().to_value());
         map.insert("pool", Value::Object(pool));
         map.insert("connections", Value::Object(self.connections_map()));
+        map.insert("refinement", Value::Object(self.refinement_map()));
         map
     }
 
@@ -1704,6 +1824,218 @@ mod tests {
                 .and_then(Value::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn refine_status_and_refinement_blocks_are_reported() {
+        let server = test_server();
+        let status = parse(
+            &server
+                .handle_line(r#"{"kind":"refine","action":"status"}"#)
+                .unwrap(),
+        );
+        assert_eq!(status.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(status.get("kind").and_then(Value::as_str), Some("refine"));
+        assert_eq!(status.get("ran").and_then(Value::as_bool), Some(false));
+        let block = status.get("refinement").unwrap();
+        assert_eq!(block.get("enabled").and_then(Value::as_bool), Some(false));
+        assert_eq!(block.get("attempted").and_then(Value::as_u64), Some(0));
+        assert_eq!(block.get("accepted").and_then(Value::as_u64), Some(0));
+        assert!(matches!(block.get("active"), Some(Value::Null)));
+        // With no recorded traffic a triggered run has nothing to refine.
+        let run = parse(&server.handle_line(r#"{"kind":"refine"}"#).unwrap());
+        assert_eq!(run.get("ran").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            run.get("outcome").and_then(Value::as_str),
+            Some("no_candidate")
+        );
+        // An unknown explicit target is a no_candidate too, not a panic.
+        let missing = parse(
+            &server
+                .handle_line(r#"{"kind":"refine","structure":"nope"}"#)
+                .unwrap(),
+        );
+        assert_eq!(
+            missing.get("outcome").and_then(Value::as_str),
+            Some("no_candidate")
+        );
+        // stats and metrics both carry the refinement block.
+        let stats = parse(&server.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        let stats_block = stats.get("refinement").unwrap();
+        assert_eq!(
+            stats_block.get("interval_secs").and_then(Value::as_u64),
+            Some(30)
+        );
+        let metrics = parse(&server.handle_line(r#"{"kind":"metrics"}"#).unwrap());
+        assert!(metrics.get("refinement").is_some());
+    }
+
+    #[test]
+    fn refine_publishes_an_improvement_under_concentrated_traffic() {
+        // A deliberately under-annealed structure: its hot-region
+        // coverage is poor, so refinement has room to win.
+        let circuit = benchmarks::circ01();
+        let config = GeneratorConfig::builder()
+            .outer_iterations(10)
+            .inner_iterations(10)
+            .seed(21)
+            .build();
+        let mps = MpsGenerator::new(&circuit, config).generate().unwrap();
+        let registry = StructureRegistry::in_memory();
+        registry.publish(ServedStructure::from_structure("circ01", mps));
+        let server = Server::new(Arc::new(registry), 2);
+        let generation_before = server.registry().generation();
+        // Concentrated traffic: every axis stays in its lowest tenth.
+        let bounds = server
+            .registry()
+            .get("circ01")
+            .unwrap()
+            .structure()
+            .bounds()
+            .to_vec();
+        for k in 0..48 {
+            let dims: Dims = bounds
+                .iter()
+                .map(|b| {
+                    let probe = |i: &mps_geom::Interval| {
+                        #[allow(clippy::cast_possible_wrap)]
+                        let tenth = (i.len() as i64 / 10).max(1);
+                        i.lo() + (k * 5) % tenth
+                    };
+                    (probe(&b.w), probe(&b.h))
+                })
+                .collect();
+            let response = parse(&server.handle_line(&query_line(&dims)).unwrap());
+            assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+        }
+        // Each pass re-seeds deterministically from the attempt counter,
+        // so a handful of triggers reaches an accepted publish.
+        let mut accepted = None;
+        for _ in 0..6 {
+            let run = parse(&server.handle_line(r#"{"kind":"refine"}"#).unwrap());
+            assert_eq!(
+                run.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "{run:?}"
+            );
+            match run.get("outcome").and_then(Value::as_str) {
+                Some("accepted") => {
+                    accepted = Some(run);
+                    break;
+                }
+                Some("rejected") => {}
+                other => panic!("unexpected refine outcome {other:?}: {run:?}"),
+            }
+        }
+        let run = accepted.expect("refinement of a weak structure under hot traffic must accept");
+        assert_eq!(run.get("structure").and_then(Value::as_str), Some("circ01"));
+        let cost_before = run.get("cost_before").and_then(Value::as_u64).unwrap();
+        let cost_after = run.get("cost_after").and_then(Value::as_u64).unwrap();
+        assert!(cost_after < cost_before, "{run:?}");
+        // The publish bumped the registry generation and cleared the
+        // answer cache (publish itself does not touch caches; the
+        // refiner must invalidate explicitly).
+        assert!(server.registry().generation() > generation_before);
+        assert_eq!(server.cache.stats().entries, 0);
+        // The refined structure still answers every probe consistently
+        // with its own direct query path.
+        let served = server.registry().get("circ01").unwrap();
+        served.structure().check_invariants().unwrap();
+        let dims = midpoint_dims(&server);
+        let response = parse(&server.handle_line(&query_line(&dims)).unwrap());
+        assert_eq!(
+            response.get("id").and_then(Value::as_u64),
+            served.structure().query(&dims).map(|id| u64::from(id.0))
+        );
+        // And the counters reflect the accepted pass.
+        let stats = parse(&server.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        let block = stats.get("refinement").unwrap();
+        assert!(block.get("accepted").and_then(Value::as_u64) >= Some(1));
+        assert_eq!(block.get("active").and_then(Value::as_str), Some("circ01"));
+        assert!(block.get("last_generation").and_then(Value::as_u64) > Some(generation_before));
+    }
+
+    #[test]
+    fn error_traffic_is_visible_in_parse_telemetry() {
+        let server = test_server();
+        let unknown = parse(&server.handle_line(r#"{"kind":"frobnicate"}"#).unwrap());
+        assert_eq!(
+            unknown
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str),
+            Some("unknown_kind")
+        );
+        let refused = parse(
+            &server
+                .handle_line(
+                    r#"{"kind":"batch_query","structure":"circ01","dims_list":[[[1,2]]],"encoding":"protobuf"}"#,
+                )
+                .unwrap(),
+        );
+        assert_eq!(
+            refused
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str),
+            Some("protocol")
+        );
+        // Both refusals recorded a parse span on the admitting thread;
+        // the metrics request itself is the third.
+        let metrics = parse(&server.handle_line(r#"{"kind":"metrics"}"#).unwrap());
+        let parse_stage = metrics
+            .get("stages")
+            .and_then(|s| s.get("parse"))
+            .expect("error traffic must appear in the parse stage");
+        assert_eq!(parse_stage.get("count").and_then(Value::as_u64), Some(3));
+        let stats = parse(&server.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        assert_eq!(
+            stats
+                .get("counters")
+                .and_then(|c| c.get("errors"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn oversized_lines_are_refused_counted_and_recorded() {
+        let server = Arc::new(Server::with_config(
+            test_registry(),
+            ServerConfig {
+                workers: 1,
+                shards: 1,
+                ..ServerConfig::default()
+            },
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept_server = Arc::clone(&server);
+        std::thread::spawn(move || accept_server.serve_tcp(listener));
+        let mut client = TcpStream::connect(addr).unwrap();
+        // 9 MiB without a newline: past the 8 MiB line cap.
+        let chunk = vec![b'x'; 1 << 20];
+        for _ in 0..9 {
+            client.write_all(&chunk).unwrap();
+        }
+        client.flush().unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response = parse(&line);
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+        let error = response.get("error").unwrap();
+        assert_eq!(error.get("kind").and_then(Value::as_str), Some("protocol"));
+        assert!(error
+            .get("message")
+            .and_then(Value::as_str)
+            .is_some_and(|m| m.contains("exceeds")));
+        // The refusal is counted and its parse span recorded even
+        // though the bytes never reached the parser — error traffic
+        // must stay visible in `stats` and `metrics`.
+        assert_eq!(server.requests.load(Ordering::Relaxed), 1);
+        assert_eq!(server.errors.load(Ordering::Relaxed), 1);
+        assert_eq!(server.telemetry().merged_stage(Stage::Parse).count(), 1);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! order before the line is delivered.
 
 use crate::lock_recover;
-use crate::protocol::{tagged_error_response, ErrorKind, RequestError};
+use crate::protocol::{ErrorKind, RequestError};
 use crate::server::{
     ns_since, Admitted, ConnState, OpenConnGuard, Reply, ReqCtx, ResponseSink, Server,
 };
@@ -176,13 +176,16 @@ impl Conn {
                         self.process_line(server, shard, token, &line);
                     }
                     if self.recv.len() > MAX_LINE_BYTES {
-                        self.out.push_line(&tagged_error_response(
-                            None,
-                            &RequestError::new(
+                        // This refusal never reaches admit() — the
+                        // buffered bytes are dropped unparsed — so the
+                        // server counts it and records its parse span
+                        // explicitly, keeping refused traffic visible
+                        // in `stats`/`metrics` like every other error.
+                        self.out
+                            .push_line(&server.refuse_preadmission(&RequestError::new(
                                 ErrorKind::Protocol,
                                 format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                            ),
-                        ));
+                            )));
                         self.recv.clear();
                         self.eof = true;
                     }

@@ -9,7 +9,7 @@
 //! and `From` impls from each stage error make `?` compose across the
 //! whole generate → persist → compile → serve pipeline.
 
-use mps_core::{GenerateError, InvariantError, PersistError};
+use mps_core::{GenerateError, InvariantError, PersistError, RefineError};
 use mps_geom::{Coord, DimsError};
 use mps_serve::ServeError;
 use std::fmt;
@@ -136,6 +136,9 @@ pub enum MpsError {
     /// The serving layer refused (directory scan, artifact load,
     /// compiled-index divergence, duplicate names).
     Serve(ServeError),
+    /// A region refinement pass was refused (malformed region, or the
+    /// merged result failed the invariant battery).
+    Refine(RefineError),
 }
 
 impl fmt::Display for MpsError {
@@ -146,6 +149,7 @@ impl fmt::Display for MpsError {
             MpsError::Invariant(e) => write!(f, "invariant violated: {e}"),
             MpsError::Query(e) => write!(f, "query refused: {e}"),
             MpsError::Serve(e) => write!(f, "serving failed: {e}"),
+            MpsError::Refine(e) => write!(f, "refinement refused: {e}"),
         }
     }
 }
@@ -158,6 +162,7 @@ impl std::error::Error for MpsError {
             MpsError::Invariant(e) => Some(e),
             MpsError::Query(e) => Some(e),
             MpsError::Serve(e) => Some(e),
+            MpsError::Refine(e) => Some(e),
         }
     }
 }
@@ -195,6 +200,12 @@ impl From<DimsError> for MpsError {
 impl From<ServeError> for MpsError {
     fn from(e: ServeError) -> Self {
         MpsError::Serve(e)
+    }
+}
+
+impl From<RefineError> for MpsError {
+    fn from(e: RefineError) -> Self {
+        MpsError::Refine(e)
     }
 }
 

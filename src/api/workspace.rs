@@ -25,9 +25,10 @@
 
 use crate::api::{MpsError, QueryError};
 use mps_core::{
-    GenerationReport, GeneratorConfig, MpsGenerator, MultiPlacementStructure, PlacementId,
+    refine_region, GenerationReport, GeneratorConfig, MpsGenerator, MultiPlacementStructure,
+    PlacementId, RefineReport,
 };
-use mps_geom::Dims;
+use mps_geom::{BlockRanges, Dims};
 use mps_netlist::Circuit;
 use mps_placer::Placement;
 use mps_serve::{ServedStructure, Server, ServerConfig, StructureRegistry};
@@ -247,6 +248,37 @@ impl Workspace {
         let served = ServedStructure::try_from_structure(name, mps)?;
         self.handles.insert(name.to_owned(), Arc::new(served));
         Ok(self.handles[name].as_ref())
+    }
+
+    /// Re-anneals a region of dims-space for `name` and installs the
+    /// result — the facade over [`mps_core::refine_region`], the same
+    /// entry point `mps-serve`'s traffic-adaptive refinement worker
+    /// drives from live heatmaps. Here the caller names the region
+    /// (one [`BlockRanges`] per block, each inside the structure's
+    /// designer bounds); the deterministic multi-start walks explore
+    /// it under `config`, the merged structure passes the full
+    /// invariant battery, and — exactly like [`Workspace::generate`] —
+    /// the winner is persisted (atomically) and recompiled before it
+    /// replaces the live handle. Entries outside the region are
+    /// untouched, so existing answers elsewhere are preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownStructure`] for unknown names,
+    /// [`MpsError::Refine`] on a malformed region (wrong arity, outside
+    /// bounds) or when the merged structure fails the invariant
+    /// battery, [`MpsError::Persist`]/[`MpsError::Serve`] when the
+    /// refined artifact cannot be written or its compiled index
+    /// diverges.
+    pub fn refine(
+        &mut self,
+        name: &str,
+        region: &[BlockRanges],
+        config: GeneratorConfig,
+    ) -> Result<(&StructureHandle, RefineReport), MpsError> {
+        let (refined, report) = refine_region(self.handle(name)?.structure(), region, &config)?;
+        let handle = self.install(name, refined)?;
+        Ok((handle, report))
     }
 
     /// Re-persists the live handle for `name` (after an external edit of
@@ -556,6 +588,52 @@ mod tests {
             })
             .unwrap();
         assert!(!uncached.cache().enabled());
+        let _ = std::fs::remove_dir_all(ws.dir());
+    }
+
+    #[test]
+    fn refine_improves_a_region_and_persists_the_result() {
+        let mut ws = temp_ws("refine");
+        let circuit = benchmarks::circ01();
+        ws.generate_or_load("circ01", &circuit, quick_config(7))
+            .unwrap();
+        let before = ws.handle("circ01").unwrap().structure().clone();
+        // The low quarter of every axis — the kind of region the serve
+        // worker would pick from a concentrated heatmap.
+        let region: Vec<mps_geom::BlockRanges> = before
+            .bounds()
+            .iter()
+            .map(|b| {
+                let quarter = |i: &mps_geom::Interval| {
+                    mps_geom::Interval::new(i.lo(), i.lo() + (i.len() as i64 - 1) / 4)
+                };
+                mps_geom::BlockRanges::new(quarter(&b.w), quarter(&b.h))
+            })
+            .collect();
+        let (_, report) = ws.refine("circ01", &region, quick_config(8)).unwrap();
+        assert!(report.inserted_boxes > 0, "{report:?}");
+        let after = ws.handle("circ01").unwrap();
+        after.structure().check_invariants().unwrap();
+        assert_ne!(after.structure().to_json(), before.to_json());
+        // The refined artifact was persisted: a fresh session loads the
+        // refined structure, bit-identical.
+        let mut ws2 = Workspace::open(ws.dir()).unwrap();
+        ws2.load("circ01").unwrap();
+        assert_eq!(
+            ws2.handle("circ01").unwrap().structure().to_json(),
+            after.structure().to_json()
+        );
+        // A malformed region (outside the designer bounds) is a typed
+        // refusal, and the live handle is untouched.
+        let bad = vec![
+            mps_geom::BlockRanges::new(
+                mps_geom::Interval::new(0, 1_000_000),
+                mps_geom::Interval::new(0, 1_000_000),
+            );
+            before.block_count()
+        ];
+        let err = ws.refine("circ01", &bad, quick_config(8)).unwrap_err();
+        assert!(matches!(err, MpsError::Refine(_)), "{err}");
         let _ = std::fs::remove_dir_all(ws.dir());
     }
 
