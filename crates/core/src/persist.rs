@@ -133,12 +133,15 @@ impl From<binfmt::Error> for PersistError {
 static TEMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Writes `bytes` to `path` atomically: the payload goes to a unique
-/// sibling temp file first, then `rename(2)` moves it into place. On
-/// Linux the rename is atomic, so a reader (or a serving-directory scan)
-/// observes either the complete old file or the complete new file —
-/// never a partial write, even if the writer is killed mid-save. The
-/// temp name ends in `.tmp`, an extension every artifact scanner
-/// ignores.
+/// sibling temp file first, is fsynced, then `rename(2)` moves it into
+/// place. On Linux the rename is atomic, so a reader (or a
+/// serving-directory scan) observes either the complete old file or the
+/// complete new file — never a partial write, even if the writer is
+/// killed mid-save. The fsync before the rename extends that to power
+/// loss: the rename can only become durable after the data it points at
+/// is, so a crash never leaves an empty or torn file under the
+/// destination name. The temp name ends in `.tmp`, an extension every
+/// artifact scanner ignores.
 fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path
@@ -154,12 +157,33 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         Some(dir) => dir.join(tmp_name),
         None => std::path::PathBuf::from(tmp_name),
     };
-    std::fs::write(&tmp, bytes)?;
+    let write_and_sync = || -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // The data must be durable before the rename can be: a renamed
+        // entry pointing at unsynced data lets a power loss keep the
+        // rename and drop the payload — a torn file under the
+        // destination name.
+        file.sync_all()
+    };
+    if let Err(e) = write_and_sync() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
     std::fs::rename(&tmp, path).inspect_err(|_| {
         // Don't leave the orphan behind when the rename itself fails
         // (cross-device target, permission change, …).
         let _ = std::fs::remove_file(&tmp);
-    })
+    })?;
+    // Syncing the directory makes the rename itself durable. Kept
+    // best-effort deliberately: the artifact is already complete and
+    // consistent under the destination name, and failing the save here
+    // would tell callers "disk unchanged" when it did change.
+    if let Ok(dir) = std::fs::File::open(parent.unwrap_or_else(|| Path::new("."))) {
+        let _ = dir.sync_all();
+    }
+    Ok(())
 }
 
 impl MultiPlacementStructure {
@@ -225,8 +249,8 @@ impl MultiPlacementStructure {
     }
 
     /// Writes the compact envelope to a file **atomically** (temp file +
-    /// rename): a crash mid-save — now a live possibility with the
-    /// background refiner persisting into serving directories — can
+    /// fsync + rename): a crash mid-save — now a live possibility with
+    /// the background refiner persisting into serving directories — can
     /// never leave a truncated artifact under the destination name.
     ///
     /// # Errors
@@ -291,8 +315,9 @@ impl MultiPlacementStructure {
     }
 
     /// Writes the mps-v2 binary artifact to a file (conventionally
-    /// `<name>.mpsb`) **atomically** (temp file + rename), with the same
-    /// crash-safety guarantee as [`MultiPlacementStructure::save_json`].
+    /// `<name>.mpsb`) **atomically** (temp file + fsync + rename), with
+    /// the same crash-safety guarantee as
+    /// [`MultiPlacementStructure::save_json`].
     ///
     /// # Errors
     ///

@@ -26,19 +26,22 @@
 //!    improve* the instantiated-placement cost (bounding-box area of
 //!    the served placement) over a deterministic probe set drawn from
 //!    the hot region. No improvement, no publish.
-//! 4. **Persist + publish** — the winner is written back to the
-//!    artifact it was loaded from **first** (atomically — temp file +
-//!    rename), then hot-swapped through
-//!    [`StructureRegistry::publish`], then the answer cache is
-//!    invalidated (publish deliberately does not touch caches; the
-//!    ordering mirrors [`Server::reload`]). Restarts keep the
-//!    improvement; a persist failure rejects the pass so disk and
-//!    memory never diverge.
+//! 4. **Commit** — generation check, artifact persist (atomic — temp
+//!    file + fsync + rename), and registry swap run as one unit under
+//!    the registry commit lock shared with `reload`
+//!    ([`StructureRegistry::publish_if_generation`]): a pass whose base
+//!    snapshot a concurrent reload replaced mid-anneal is rejected
+//!    *before* it touches the artifact file, and a persist failure
+//!    rejects the pass before the publish — disk and memory never
+//!    diverge, and a rejected pass never clobbers an operator's fresher
+//!    artifact. After the swap the answer cache is invalidated (publish
+//!    deliberately does not touch caches; the ordering mirrors
+//!    [`Server::reload`]). Restarts keep the improvement.
 //!
 //! Passes are serialized by a run lock (two concurrent triggers cannot
-//! lose each other's publish), and a generation check immediately
-//! before the publish rejects a pass whose base snapshot a concurrent
-//! `reload` replaced mid-anneal.
+//! lose each other's publish); the commit itself is a compare-and-swap
+//! on the registry generation, so reload always wins over a pass it
+//! overlapped.
 
 use crate::registry::ServedStructure;
 use crate::server::Server;
@@ -332,11 +335,15 @@ pub(crate) fn run_pass(server: &Server, target: Option<&str>) -> RefineOutcome {
     // forever), yet any single pass is exactly reproducible from the
     // attempt counter.
     let seed = 0x5EED_0EF1u64 ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // The anneal runs beside the serving workers, so it never takes
+    // more threads than the pool itself has: a one-worker server
+    // refines single-threaded instead of competing two-against-one.
+    let threads = server.config().workers.clamp(1, 2);
     let config = GeneratorConfig::builder()
         .outer_iterations(REFINE_OUTER)
         .inner_iterations(REFINE_INNER)
         .num_starts(REFINE_STARTS)
-        .threads(2)
+        .threads(threads)
         .seed(seed)
         .build();
     let probes = probe_set(&hot.region, seed);
@@ -367,38 +374,46 @@ pub(crate) fn run_pass(server: &Server, target: Option<&str>) -> RefineOutcome {
         Err(e) => return reject(format!("candidate failed index verification: {e}")),
     };
     let rebuilt = match served.path() {
-        Some(path) => {
-            // Persist BEFORE publishing: if the write fails the pass is
-            // rejected and memory keeps matching disk. The save itself
-            // is atomic (temp file + rename), so a crash mid-write can
-            // never corrupt the serving directory either.
-            let result = if path.extension().is_some_and(|e| e == "mpsb") {
-                rebuilt.structure().save_bin(path)
-            } else {
-                rebuilt.structure().save_json(path)
-            };
-            if let Err(e) = result {
-                return reject(format!("persisting refined artifact failed: {e}"));
-            }
-            rebuilt.with_path(path.to_path_buf())
-        }
+        Some(path) => rebuilt.with_path(path.to_path_buf()),
         None => rebuilt,
     };
-    // Generation guard: a concurrent reload swapped the base snapshot
-    // mid-anneal — publishing would resurrect pre-reload data. The
-    // pass is rejected; the next interval re-anneals from the new base.
-    if server.registry().generation() != base_generation {
-        return reject(format!(
-            "registry generation moved during the pass (base {base_generation}, now {})",
-            server.registry().generation()
-        ));
-    }
-    server.registry().publish(rebuilt);
+    // Commit: generation check, artifact persist, and snapshot swap run
+    // as one unit under the registry commit lock (shared with
+    // `Server::reload`). A pass whose base snapshot a concurrent reload
+    // replaced mid-anneal is rejected *before* the persist, so it can
+    // never overwrite the operator's fresher artifact with a candidate
+    // annealed from pre-reload data; a persist failure rejects the pass
+    // before the publish, so disk and memory never diverge. The write
+    // itself is atomic (temp file + fsync + rename), so a crash
+    // mid-write cannot corrupt the serving directory either.
+    let committed =
+        server
+            .registry()
+            .publish_if_generation(base_generation, rebuilt, |candidate| {
+                let Some(path) = candidate.path() else {
+                    return Ok(());
+                };
+                if path.extension().is_some_and(|e| e == "mpsb") {
+                    candidate.structure().save_bin(path)
+                } else {
+                    candidate.structure().save_json(path)
+                }
+            });
+    let generation = match committed {
+        Err(e) => return reject(format!("persisting refined artifact failed: {e}")),
+        Ok(None) => {
+            // The next interval re-anneals from the new base.
+            return reject(format!(
+                "registry generation moved during the pass (base {base_generation}, now {})",
+                server.registry().generation()
+            ));
+        }
+        Ok(Some(generation)) => generation,
+    };
     // Invalidate AFTER the swap, mirroring Server::reload: an answer
     // computed against the old snapshot either lands before this clear
     // (and is cleared) or fails the cache's generation check.
     server.cache().invalidate_all();
-    let generation = server.registry().generation();
     let gain_ppm = (cost_before - cost_after).saturating_mul(1_000_000) / cost_before.max(1);
     stats.accepted.fetch_add(1, Ordering::Relaxed);
     stats.last_gain_ppm.store(gain_ppm, Ordering::Relaxed);

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Probes [`CompiledQueryIndex::verify_against`] runs per artifact load.
 const LOAD_CHECK_PROBES: usize = 128;
@@ -236,6 +236,13 @@ type Snapshot = Arc<HashMap<String, Arc<ServedStructure>>>;
 pub struct StructureRegistry {
     dir: Option<PathBuf>,
     map: RwLock<Snapshot>,
+    /// Serializes whole commits — `publish`, `publish_if_generation`,
+    /// `reload` — without ever blocking readers: the map's write lock is
+    /// only held for the final pointer swap, while this lock spans a
+    /// commit end to end (a reload's directory rescan, a refinement's
+    /// generation check + artifact persist), so two commits can never
+    /// interleave their check/persist/swap steps.
+    commit_lock: Mutex<()>,
     /// Bumped on every successful snapshot swap (`publish`/`reload`) —
     /// a cheap change detector for observers (`metrics` surfaces it, so
     /// a scraper can tell "same structure set" without diffing names).
@@ -261,6 +268,7 @@ impl StructureRegistry {
         Ok(Self {
             dir: Some(dir),
             map: RwLock::new(Arc::new(map)),
+            commit_lock: Mutex::new(()),
             generation: AtomicU64::new(0),
         })
     }
@@ -272,6 +280,7 @@ impl StructureRegistry {
         Self {
             dir: None,
             map: RwLock::new(Arc::new(HashMap::new())),
+            commit_lock: Mutex::new(()),
             generation: AtomicU64::new(0),
         }
     }
@@ -323,6 +332,59 @@ impl StructureRegistry {
     /// over it.
     pub fn publish(&self, served: impl Into<Arc<ServedStructure>>) {
         let served = served.into();
+        let _commit = self
+            .commit_lock
+            .lock()
+            .expect("registry commit lock poisoned");
+        self.swap_in(served);
+    }
+
+    /// Commits `served` only if the registry generation still equals
+    /// `base_generation`, running `persist` between the check and the
+    /// snapshot swap — all inside the commit lock shared with
+    /// [`StructureRegistry::publish`] and [`StructureRegistry::reload`],
+    /// so no concurrent commit can land between the three steps.
+    ///
+    /// This is the refinement worker's compare-and-swap publish: a pass
+    /// anneals from a base snapshot for a while, and a `reload` that
+    /// committed meanwhile must win — the stale candidate is rejected
+    /// *before* `persist` runs, so a rejected pass leaves the artifact
+    /// file exactly as the reload's operator put it. Conversely a
+    /// reload's directory rescan also sits inside the commit lock, so it
+    /// can never read an artifact this method is about to overwrite and
+    /// then swap in the stale bytes.
+    ///
+    /// Returns `Ok(Some(generation))` — the post-swap generation — when
+    /// the commit landed, and `Ok(None)` when the generation had moved
+    /// (neither `persist` nor the swap ran).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `persist` closure's error; nothing was published.
+    /// `persist` is responsible for leaving disk intact when it fails
+    /// (the atomic temp-file + rename writers in `mps_core` do).
+    pub fn publish_if_generation<E>(
+        &self,
+        base_generation: u64,
+        served: impl Into<Arc<ServedStructure>>,
+        persist: impl FnOnce(&ServedStructure) -> Result<(), E>,
+    ) -> Result<Option<u64>, E> {
+        let served = served.into();
+        let _commit = self
+            .commit_lock
+            .lock()
+            .expect("registry commit lock poisoned");
+        if self.generation.load(Ordering::Relaxed) != base_generation {
+            return Ok(None);
+        }
+        persist(&served)?;
+        self.swap_in(served);
+        Ok(Some(self.generation.load(Ordering::Relaxed)))
+    }
+
+    /// The snapshot swap behind every publish path. Callers must hold
+    /// `commit_lock`.
+    fn swap_in(&self, served: Arc<ServedStructure>) {
         let mut guard = self.map.write().expect("registry lock poisoned");
         let mut next: HashMap<String, Arc<ServedStructure>> = (**guard).clone();
         next.insert(served.name().to_owned(), served);
@@ -355,6 +417,15 @@ impl StructureRegistry {
                 ..ReloadReport::default()
             });
         };
+        // The whole rescan sits inside the commit lock: a refinement
+        // commit can neither overwrite an artifact between this scan
+        // reading it and the swap below publishing it, nor observe a
+        // stale generation after the swap. Readers are unaffected — the
+        // map's write lock is only taken for the pointer swap itself.
+        let _commit = self
+            .commit_lock
+            .lock()
+            .expect("registry commit lock poisoned");
         let next = Arc::new(scan_dir(dir)?);
         let prev = {
             let mut guard = self.map.write().expect("registry lock poisoned");
@@ -543,6 +614,100 @@ mod tests {
         std::fs::write(dir.join("README.txt"), "not an artifact").unwrap();
         let registry = StructureRegistry::open(&dir).unwrap();
         assert_eq!(registry.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn publish_if_generation_is_a_compare_and_swap() {
+        use std::sync::atomic::AtomicBool;
+
+        let registry = StructureRegistry::in_memory();
+        let structure = tiny_structure(20);
+        registry.publish(ServedStructure::from_structure("mem", structure.clone()));
+        let base = registry.generation();
+
+        // A commit from the observed generation lands, reports the
+        // bumped generation, and ran its persist step.
+        let persisted = AtomicBool::new(false);
+        let committed = registry
+            .publish_if_generation(
+                base,
+                ServedStructure::from_structure("mem", structure.clone()),
+                |_| {
+                    persisted.store(true, Ordering::Relaxed);
+                    Ok::<(), std::convert::Infallible>(())
+                },
+            )
+            .unwrap();
+        assert_eq!(committed, Some(base + 1));
+        assert!(persisted.load(Ordering::Relaxed));
+
+        // A stale commit is rejected *before* its persist step runs:
+        // nothing on disk, nothing in memory, generation unchanged.
+        let stale_persisted = AtomicBool::new(false);
+        let stale = registry
+            .publish_if_generation(
+                base,
+                ServedStructure::from_structure("mem", structure.clone()),
+                |_| {
+                    stale_persisted.store(true, Ordering::Relaxed);
+                    Ok::<(), std::convert::Infallible>(())
+                },
+            )
+            .unwrap();
+        assert_eq!(stale, None);
+        assert!(!stale_persisted.load(Ordering::Relaxed));
+        assert_eq!(registry.generation(), base + 1);
+
+        // A persist failure blocks the publish: same snapshot, same
+        // generation, and the error surfaces to the caller.
+        let before = registry.get("mem").unwrap();
+        let failed = registry.publish_if_generation(
+            registry.generation(),
+            ServedStructure::from_structure("mem", structure),
+            |_| Err("disk full"),
+        );
+        assert_eq!(failed, Err("disk full"));
+        assert_eq!(registry.generation(), base + 1);
+        assert!(Arc::ptr_eq(&registry.get("mem").unwrap(), &before));
+    }
+
+    #[test]
+    fn stale_refinement_commit_never_touches_the_operator_artifact() {
+        // The reload-vs-refine race: an operator drops a replacement
+        // artifact and reloads while a refinement pass (annealed from
+        // the pre-reload snapshot) is still running. The stale commit
+        // must be rejected without overwriting the operator's file.
+        let dir = temp_dir("staleref");
+        let path = dir.join("alpha.mps.json");
+        tiny_structure(21).save_json(&path).unwrap();
+        let registry = StructureRegistry::open(&dir).unwrap();
+        let base = registry.generation();
+
+        let replacement = tiny_structure(22);
+        replacement.save_json(&path).unwrap();
+        registry.reload().unwrap();
+        let bytes_after_reload = std::fs::read(&path).unwrap();
+
+        let stale = ServedStructure::from_structure("alpha", tiny_structure(23)).with_path(&path);
+        let committed = registry
+            .publish_if_generation(base, stale, |candidate| {
+                candidate
+                    .structure()
+                    .save_json(candidate.path().expect("path was bound"))
+            })
+            .unwrap();
+        assert_eq!(committed, None, "a stale commit must lose to the reload");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            bytes_after_reload,
+            "a rejected pass must not touch the artifact file"
+        );
+        assert_eq!(
+            registry.get("alpha").unwrap().structure().to_json(),
+            replacement.to_json(),
+            "the reload's structure must keep serving"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
