@@ -61,6 +61,7 @@ mod refine;
 mod resolve;
 mod structure;
 mod synthesis;
+mod synthetic;
 
 pub use bdio::{Bdio, BdioConfig, BdioResult};
 pub use coverage::{row_coverage, volume_coverage};
@@ -78,3 +79,4 @@ pub use persist::{
 pub use refine::{refine_region, refine_region_with_circuit, RefineError, RefineReport};
 pub use structure::MultiPlacementStructure;
 pub use synthesis::{PerformanceModel, SynthesisLoop, SynthesisOutcome};
+pub use synthetic::grid_structure;

@@ -46,6 +46,7 @@ mod dims;
 mod dims_box;
 mod interval;
 mod interval_map;
+mod partition;
 mod point;
 mod rect;
 pub mod svg;
@@ -54,6 +55,7 @@ pub use dims::{Dims, DimsError};
 pub use dims_box::{Axis, BlockRanges, DimIndex, DimsBox};
 pub use interval::{Interval, SubtractResult, TryNewIntervalError};
 pub use interval_map::IntervalMap;
+pub use partition::{eytzinger_order, quantile_pivots};
 pub use point::Point;
 pub use rect::Rect;
 

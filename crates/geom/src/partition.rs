@@ -1,0 +1,192 @@
+//! Quantile partitioning helpers for interval rows.
+//!
+//! The serving crate's v2 compiled index organizes each sorted, disjoint
+//! segment row into an eyros-style pivot/bucket/center layout: pivot
+//! values chosen at quantile boundaries of the segment distribution split
+//! the row into equal-population buckets, and the (at most one, by
+//! disjointness) segment straddling each pivot becomes that pivot's
+//! center entry. The two pieces that are pure geometry — picking the
+//! pivot values and laying a sorted pivot list out as an implicit
+//! balanced tree — live here so they can be tested against interval
+//! invariants without dragging in the serving stack.
+
+use crate::{Coord, Interval};
+
+/// Pivot values at quantile boundaries of a sorted, disjoint segment row.
+///
+/// Returns a strictly increasing list of `2^d - 1` values (a complete
+/// binary tree's worth) chosen so that the `2^d` gaps between them hold
+/// at most roughly `target_bucket` segments each. Each pivot is the
+/// midpoint of the gap between two consecutive quantile segments; when
+/// the segments are adjacent (gap of one grid step) the midpoint rounds
+/// down onto the left segment's upper endpoint, so that segment straddles
+/// the pivot — exactly the case a center entry exists for.
+///
+/// Returns an empty list when `segments.len() <= target_bucket` (a single
+/// bucket suffices).
+///
+/// # Panics
+///
+/// Panics if `target_bucket < 2` or if `segments` is not sorted and
+/// pairwise disjoint in ascending order (debug builds only for the
+/// ordering check).
+#[must_use]
+pub fn quantile_pivots(segments: &[Interval], target_bucket: usize) -> Vec<Coord> {
+    assert!(target_bucket >= 2, "bucket target must be at least 2");
+    let len = segments.len();
+    if len <= target_bucket {
+        return Vec::new();
+    }
+    debug_assert!(
+        segments.windows(2).all(|w| w[0].hi() < w[1].lo()),
+        "segments must be sorted and pairwise disjoint"
+    );
+    // Smallest complete tree whose leaf count covers len / target_bucket
+    // buckets, clamped so every pivot rank is distinct (needs len >= 2^d).
+    let buckets_needed = len.div_ceil(target_bucket);
+    let mut d = usize::BITS - (buckets_needed - 1).leading_zeros();
+    while (1usize << d) > len {
+        d -= 1;
+    }
+    let leaves = 1usize << d;
+    let pivots = leaves - 1;
+    let mut out = Vec::with_capacity(pivots);
+    for i in 1..=pivots {
+        // Quantile rank: the boundary between segments k-1 and k.
+        let k = i * len / leaves;
+        let a = segments[k - 1].hi();
+        let b = segments[k].lo();
+        debug_assert!(a < b, "disjoint segments must leave a < b at boundaries");
+        out.push(a + (b - a) / 2);
+    }
+    debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
+    out
+}
+
+/// The Eytzinger (breadth-first implicit tree) layout of a sorted list.
+///
+/// For a complete binary tree of `count = 2^d - 1` nodes, returns `order`
+/// with `order[heap_position] = sorted_index`: node 0 is the root, node
+/// `n` has children `2n + 1` and `2n + 2`, and an in-order walk of the
+/// heap positions visits sorted indices `0, 1, ..., count - 1`. Falling
+/// off the bottom of the tree at virtual node `n >= count` lands in leaf
+/// gap `n - count`, and those gaps enumerate the `2^d` inter-pivot
+/// buckets left to right.
+///
+/// # Panics
+///
+/// Panics if `count + 1` is not a power of two (the layout is only
+/// defined for complete trees, which is what [`quantile_pivots`]
+/// produces).
+#[must_use]
+pub fn eytzinger_order(count: usize) -> Vec<u32> {
+    assert!(
+        (count + 1).is_power_of_two(),
+        "eytzinger layout requires a complete tree (2^d - 1 nodes), got {count}"
+    );
+    let mut order = vec![0u32; count];
+    let mut next = 0u32;
+    // In-order traversal of the implicit heap assigns sorted ranks.
+    fn fill(node: usize, count: usize, next: &mut u32, order: &mut [u32]) {
+        if node >= count {
+            return;
+        }
+        fill(2 * node + 1, count, next, order);
+        order[node] = *next;
+        *next += 1;
+        fill(2 * node + 2, count, next, order);
+    }
+    fill(0, count, &mut next, &mut order);
+    debug_assert_eq!(next as usize, count);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(spans: &[(Coord, Coord)]) -> Vec<Interval> {
+        spans.iter().map(|&(l, h)| Interval::new(l, h)).collect()
+    }
+
+    #[test]
+    fn small_rows_get_no_pivots() {
+        let segs = row(&[(0, 4), (6, 9), (11, 20)]);
+        assert!(quantile_pivots(&segs, 8).is_empty());
+    }
+
+    #[test]
+    fn pivots_are_strictly_increasing_and_complete_tree_sized() {
+        let segs: Vec<Interval> = (0..100).map(|i| Interval::new(3 * i, 3 * i + 1)).collect();
+        let pivots = quantile_pivots(&segs, 4);
+        assert!((pivots.len() + 1).is_power_of_two());
+        assert!(pivots.windows(2).all(|w| w[0] < w[1]));
+        // Every pivot separates the row: some segment strictly left,
+        // some strictly right.
+        for &p in &pivots {
+            assert!(segs.iter().any(|s| s.hi() <= p));
+            assert!(segs.iter().any(|s| s.lo() > p));
+        }
+    }
+
+    #[test]
+    fn adjacent_quantile_segments_put_the_pivot_on_the_left_endpoint() {
+        // Contiguous cover: every gap is one grid step, so each pivot
+        // must land exactly on a segment's upper endpoint (the segment
+        // that becomes a center entry).
+        let segs: Vec<Interval> = (0..64).map(|i| Interval::new(5 * i, 5 * i + 4)).collect();
+        let pivots = quantile_pivots(&segs, 4);
+        assert!(!pivots.is_empty());
+        for &p in &pivots {
+            assert!(
+                segs.iter().any(|s| s.hi() == p),
+                "pivot {p} is not a segment endpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_stay_balanced() {
+        let segs: Vec<Interval> = (0..257).map(|i| Interval::new(4 * i, 4 * i + 2)).collect();
+        let pivots = quantile_pivots(&segs, 8);
+        let leaves = pivots.len() + 1;
+        // Count segments per inter-pivot gap; none should exceed ~2x the
+        // even share.
+        let share = segs.len().div_ceil(leaves);
+        let mut counts = vec![0usize; leaves];
+        for s in &segs {
+            let k = pivots.partition_point(|&p| p < s.lo());
+            counts[k] += 1;
+        }
+        for &c in &counts {
+            assert!(c <= 2 * share, "bucket holds {c} segments, share {share}");
+        }
+    }
+
+    #[test]
+    fn eytzinger_layout_matches_the_classic_seven_node_tree() {
+        assert_eq!(eytzinger_order(0), Vec::<u32>::new());
+        assert_eq!(eytzinger_order(1), vec![0]);
+        assert_eq!(eytzinger_order(7), vec![3, 1, 5, 0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn eytzinger_descent_finds_every_rank() {
+        // Descending the implicit tree by comparing ranks reaches every
+        // node, and falling off lands in the in-order leaf gap.
+        let count = 15;
+        let order = eytzinger_order(count);
+        for target in 0..count as u32 {
+            let mut node = 0usize;
+            loop {
+                assert!(node < count);
+                let rank = order[node];
+                match target.cmp(&rank) {
+                    std::cmp::Ordering::Equal => break,
+                    std::cmp::Ordering::Less => node = 2 * node + 1,
+                    std::cmp::Ordering::Greater => node = 2 * node + 2,
+                }
+            }
+        }
+    }
+}

@@ -357,6 +357,116 @@ impl SizingModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Parametric corpus circuits.
+//
+// The Table-1 benchmarks top out at 24 blocks; proving serving-cost
+// asymptotics (the v2 compiled index's flat-scaling gate) needs circuits
+// an order of magnitude past that. These two generators manufacture
+// regular analog fabrics — an RC ladder and a device array — at any
+// size, with the same generator-backed sizing model the benchmarks use,
+// so scaled corpora are one function call instead of nine hand-built
+// netlists.
+// ---------------------------------------------------------------------------
+
+/// An RC ladder filter: `rungs` series resistors, each with a shunt
+/// capacitor hanging off its output node. `2 * rungs` blocks — at 120
+/// rungs that is 10x the largest Table-1 benchmark.
+///
+/// `scale` multiplies every sizing range, exactly like the benchmark
+/// suite's internal helpers (1.0 reproduces benchmark-typical module
+/// sizes).
+///
+/// # Panics
+///
+/// Panics if `rungs == 0` (a ladder needs at least one rung).
+#[must_use]
+pub fn ladder_circuit(rungs: usize, scale: f64) -> (crate::Circuit, SizingModel) {
+    assert!(rungs > 0, "a ladder needs at least one rung");
+    let mut names = Vec::with_capacity(2 * rungs);
+    let mut generators = Vec::with_capacity(2 * rungs);
+    for i in 0..rungs {
+        names.push(format!("R{i}"));
+        generators.push(Generator::Resistor(ResistorGenerator {
+            min_squares: 20.0 * scale,
+            max_squares: 400.0 * scale,
+            ..ResistorGenerator::default()
+        }));
+        names.push(format!("C{i}"));
+        generators.push(Generator::Capacitor(CapacitorGenerator {
+            min_cap: 100.0 * scale,
+            max_cap: 2_500.0 * scale,
+            ..CapacitorGenerator::default()
+        }));
+    }
+    let blocks: Vec<Block> = names
+        .iter()
+        .zip(&generators)
+        .map(|(n, g)| g.derive_block(n.clone()))
+        .collect();
+    // Node i joins rung i's resistor and capacitor with the next rung's
+    // resistor (the last node is just the R/C pair).
+    let r = |i: usize| 2 * i;
+    let c = |i: usize| 2 * i + 1;
+    let nets: Vec<crate::Net> = (0..rungs)
+        .map(|i| {
+            let mut members = vec![crate::BlockId(r(i)), crate::BlockId(c(i))];
+            if i + 1 < rungs {
+                members.push(crate::BlockId(r(i + 1)));
+            }
+            crate::Net::connecting(format!("node{i}"), &members)
+        })
+        .collect();
+    let circuit =
+        crate::Circuit::new("ladder", blocks, nets).expect("ladder circuit must validate");
+    (circuit, SizingModel::new(generators))
+}
+
+/// A `rows x cols` MOSFET array (a current-mirror / DAC bank): one
+/// device per cell, a shared rail net per row and a shared gate net per
+/// column. `rows * cols` blocks.
+///
+/// `scale` multiplies the sizing range, like [`ladder_circuit`].
+///
+/// # Panics
+///
+/// Panics if `rows < 2` or `cols < 2` (every net needs two pins).
+#[must_use]
+pub fn array_circuit(rows: usize, cols: usize, scale: f64) -> (crate::Circuit, SizingModel) {
+    assert!(rows >= 2 && cols >= 2, "array nets need two pins per net");
+    let cell = |r: usize, k: usize| r * cols + k;
+    let mut names = Vec::with_capacity(rows * cols);
+    let mut generators = Vec::with_capacity(rows * cols);
+    for row in 0..rows {
+        for col in 0..cols {
+            names.push(format!("M{row}_{col}"));
+            generators.push(Generator::Mosfet(MosfetGenerator {
+                min_total_width: 40.0 * scale,
+                max_total_width: 900.0 * scale,
+                ..MosfetGenerator::default()
+            }));
+        }
+    }
+    let blocks: Vec<Block> = names
+        .iter()
+        .zip(&generators)
+        .map(|(n, g)| g.derive_block(n.clone()))
+        .collect();
+    let mut nets = Vec::with_capacity(rows + cols);
+    for row in 0..rows {
+        let members: Vec<crate::BlockId> =
+            (0..cols).map(|k| crate::BlockId(cell(row, k))).collect();
+        nets.push(crate::Net::connecting(format!("rail{row}"), &members));
+    }
+    for col in 0..cols {
+        let members: Vec<crate::BlockId> =
+            (0..rows).map(|r| crate::BlockId(cell(r, col))).collect();
+        nets.push(crate::Net::connecting(format!("gate{col}"), &members));
+    }
+    let circuit = crate::Circuit::new("array", blocks, nets).expect("array circuit must validate");
+    (circuit, SizingModel::new(generators))
+}
+
 #[cfg(feature = "serde")]
 serde::impl_serde_struct!(MosfetGenerator {
     finger_pitch,
@@ -565,5 +675,43 @@ mod tests {
     fn sizing_model_rejects_wrong_arity() {
         let model = SizingModel::new(vec![Generator::Mosfet(MosfetGenerator::default())]);
         let _ = model.dims(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ladder_scales_to_ten_times_the_benchmark_suite() {
+        // The largest Table-1 benchmark has 24 blocks; the corpus
+        // generator must reach an order of magnitude past it.
+        let (small, model) = ladder_circuit(3, 1.0);
+        assert_eq!(small.block_count(), 6);
+        assert_eq!(model.block_count(), 6);
+        let (big, big_model) = ladder_circuit(120, 1.0);
+        assert_eq!(big.block_count(), 240);
+        assert_eq!(big.net_count(), 120);
+        assert_eq!(big_model.block_count(), 240);
+        // Deterministic: same parameters, same circuit.
+        let (again, _) = ladder_circuit(120, 1.0);
+        assert_eq!(big.block_count(), again.block_count());
+        assert_eq!(big.terminal_count(), again.terminal_count());
+    }
+
+    #[test]
+    fn array_wires_rows_and_columns() {
+        let (circuit, model) = array_circuit(6, 5, 1.0);
+        assert_eq!(circuit.block_count(), 30);
+        assert_eq!(circuit.net_count(), 11); // 6 rails + 5 gate columns
+        assert_eq!(model.block_count(), 30);
+        // Every block sits on exactly one rail and one gate net.
+        assert_eq!(circuit.terminal_count(), 2 * 30);
+    }
+
+    #[test]
+    fn corpus_models_drive_their_circuits() {
+        let (circuit, model) = ladder_circuit(4, 1.0);
+        let params: Vec<f64> = model.param_ranges().iter().map(|&(lo, _)| lo).collect();
+        let dims = model.dims(&params);
+        assert_eq!(dims.len(), circuit.block_count());
+        for (block, &(w, h)) in circuit.blocks().iter().zip(&dims) {
+            assert!(block.admits(w, h));
+        }
     }
 }

@@ -26,14 +26,26 @@
 use mps_core::{MultiPlacementStructure, PlacementId};
 use mps_geom::{Coord, Dims};
 
-/// Reusable per-query candidate state for [`CompiledQueryIndex`].
+/// Reusable per-query candidate state for [`CompiledQueryIndex`] and the
+/// v2 plan ([`crate::CompiledQueryIndexV2`]).
 ///
 /// Holding one `QueryScratch` across a stream of queries keeps the hot
-/// path allocation-free: the buffer is sized on first use and only ever
-/// cleared afterwards.
+/// path allocation-free: the buffers are sized on first use and only ever
+/// cleared afterwards. One scratch serves both index plans — the v1 plan
+/// uses the dense accumulator, the v2 plan its own sparse accumulator
+/// plus the live-word list — so a connection can interleave queries
+/// against structures compiled to different plans.
 #[derive(Debug, Default, Clone)]
 pub struct QueryScratch {
+    /// v1 dense accumulator (filled with all-ones, ANDed per row).
     words: Vec<u64>,
+    /// v2 sparse accumulator. Invariant: all-zero between queries (the
+    /// v2 query path zeroes exactly the words it touched on every exit),
+    /// so a query only ever writes the handful of words that can still
+    /// hold candidates.
+    pub(crate) v2_acc: Vec<u64>,
+    /// v2 list of accumulator word indices that are currently nonzero.
+    pub(crate) v2_live: Vec<u32>,
 }
 
 impl QueryScratch {
@@ -307,58 +319,76 @@ impl CompiledQueryIndex {
         probes: usize,
         seed: u64,
     ) -> Result<(), String> {
-        if self.blocks != mps.block_count() {
+        let mut scratch = QueryScratch::new();
+        differential_probes(mps, self.blocks, probes, seed, |probe| {
+            self.query_slice(probe, &mut scratch)
+        })
+    }
+}
+
+/// The differential probe battery shared by every compiled plan's
+/// `verify_against`: `probes` deterministic pseudo-random dimension
+/// vectors (seeded by `seed`, mostly in-bounds with a salting of
+/// out-of-bounds and wrong-arity mutants) must produce bit-identical
+/// answers from [`MultiPlacementStructure::query`] and the compiled
+/// closure.
+pub(crate) fn differential_probes(
+    mps: &MultiPlacementStructure,
+    blocks: usize,
+    probes: usize,
+    seed: u64,
+    mut compiled: impl FnMut(&Dims) -> Option<PlacementId>,
+) -> Result<(), String> {
+    if blocks != mps.block_count() {
+        return Err(format!(
+            "index compiled for {} blocks, structure has {}",
+            blocks,
+            mps.block_count()
+        ));
+    }
+    let bounds = mps.bounds();
+    // xorshift64*: deterministic, no rand dependency in the library.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut dims: Vec<(Coord, Coord)> = vec![(0, 0); bounds.len()];
+    for k in 0..probes {
+        for (d, b) in dims.iter_mut().zip(bounds) {
+            *d = (
+                b.w.lo() + (next() % b.w.len()) as Coord,
+                b.h.lo() + (next() % b.h.len()) as Coord,
+            );
+        }
+        // Every eighth probe escapes the coverage bounds on one axis;
+        // both paths must answer None for it.
+        if k % 8 == 5 {
+            let i = k % bounds.len();
+            dims[i].0 = bounds[i].w.hi() + 1 + (next() % 64) as Coord;
+        }
+        let arity_mutant = k % 64 == 21;
+        if arity_mutant {
+            dims.pop();
+        }
+        // Unchecked wrap: the probe stream deliberately carries
+        // out-of-bounds and wrong-arity mutants.
+        let probe = Dims::from_vec_unchecked(dims.clone());
+        let reference = mps.query(&probe);
+        let answer = compiled(&probe);
+        if reference != answer {
             return Err(format!(
-                "index compiled for {} blocks, structure has {}",
-                self.blocks,
-                mps.block_count()
+                "probe {k} ({probe:?}): structure answers {reference:?}, \
+                 compiled index answers {answer:?}"
             ));
         }
-        let bounds = mps.bounds();
-        // xorshift64*: deterministic, no rand dependency in the library.
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
-        };
-        let mut scratch = QueryScratch::new();
-        let mut dims: Vec<(Coord, Coord)> = vec![(0, 0); bounds.len()];
-        for k in 0..probes {
-            for (d, b) in dims.iter_mut().zip(bounds) {
-                *d = (
-                    b.w.lo() + (next() % b.w.len()) as Coord,
-                    b.h.lo() + (next() % b.h.len()) as Coord,
-                );
-            }
-            // Every eighth probe escapes the coverage bounds on one axis;
-            // both paths must answer None for it.
-            if k % 8 == 5 {
-                let i = k % bounds.len();
-                dims[i].0 = bounds[i].w.hi() + 1 + (next() % 64) as Coord;
-            }
-            let arity_mutant = k % 64 == 21;
-            if arity_mutant {
-                dims.pop();
-            }
-            // Unchecked wrap: the probe stream deliberately carries
-            // out-of-bounds and wrong-arity mutants.
-            let probe = Dims::from_vec_unchecked(dims.clone());
-            let reference = mps.query(&probe);
-            let compiled = self.query_slice(&probe, &mut scratch);
-            if reference != compiled {
-                return Err(format!(
-                    "probe {k} ({probe:?}): structure answers {reference:?}, \
-                     compiled index answers {compiled:?}"
-                ));
-            }
-            if arity_mutant {
-                dims.push((0, 0));
-            }
+        if arity_mutant {
+            dims.push((0, 0));
         }
-        Ok(())
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,777 @@
+//! The v2 compiled query plan: eyros-style pivot/bucket/center
+//! partitioning plus a sparse live-word candidate accumulator.
+//!
+//! The v1 plan ([`CompiledQueryIndex`]) answers a query with one binary
+//! search and one **full-width** bitset `AND` per row. Both factors grow
+//! with structure scale: the binary search spans every segment of the
+//! row, and the `AND` touches `ceil(regions / 64)` words even though —
+//! by the paper's Eq. 5 — at most one candidate can survive the
+//! intersection. At 10x the region count a query pays 10x the word
+//! traffic for the same single answer.
+//!
+//! V2 keeps per-query cost near-flat in region count by fixing both
+//! factors, adapting the frame layout of the `eyros` interval database:
+//!
+//! * **Pivot/bucket/center rows.** Each row's sorted disjoint segments
+//!   are partitioned by pivot values at quantile boundaries
+//!   ([`mps_geom::quantile_pivots`]), stored as an implicit complete
+//!   binary tree in Eytzinger (breadth-first) order. A segment that
+//!   straddles a pivot becomes the **center** entry of the first such
+//!   pivot in tree order (disjointness means a pivot has at most one
+//!   straddling segment); all other segments land in the **bucket**
+//!   between their enclosing pivots. Lookup descends `log2` pivots —
+//!   contiguous in memory, cache-resident — checking each node's center
+//!   on the way, then scans one short bucket. No row-wide binary search.
+//! * **Sparse live-word intersection.** Candidate bitsets are interned
+//!   (structurally equal rows share one copy) and each carries its list
+//!   of nonzero word indices. The first row seeds the accumulator with
+//!   only its nonzero words; every later row `AND`s only the words still
+//!   live, and Eq.-5 selectivity collapses the live set to ~1 word
+//!   almost immediately. Per-query word traffic is `O(nonzero(first
+//!   row) + rows)` instead of v1's `O(rows x width)`.
+//!
+//! The scratch state ([`QueryScratch`]) is shared with v1 and grows no
+//! per-query allocation: the v2 accumulator is kept all-zero between
+//! queries by zeroing exactly the touched words on every exit path.
+//!
+//! [`CompiledQueryIndexV2::verify_against`] proves the plan answers
+//! bit-identically to the interpretive path with the same differential
+//! battery v1 uses; the registry additionally enforces it on every load,
+//! and `tests/compiled_v2_equivalence.rs` diffs the two plans directly
+//! on >= 10,000 probes per structure.
+
+use crate::compiled::{differential_probes, CompiledQueryIndex, QueryScratch};
+use mps_core::{MultiPlacementStructure, PlacementId};
+use mps_geom::{eytzinger_order, quantile_pivots, Coord, Dims, Interval};
+use std::collections::HashMap;
+
+/// Sentinel for "this pivot has no center entry".
+const NO_CENTER: u32 = u32::MAX;
+
+/// Rows with at most this many segments skip pivoting entirely (one
+/// linear-scanned bucket beats a tree for tiny rows).
+const BUCKET_TARGET: usize = 8;
+
+/// A [`MultiPlacementStructure`]'s interval rows compiled into the
+/// pivot/bucket/center layout with interned sparse bitsets.
+///
+/// Build once with [`CompiledQueryIndexV2::build`]; the index answers
+/// [`CompiledQueryIndexV2::query`] bit-identically to
+/// [`MultiPlacementStructure::query`] (enforced by
+/// [`CompiledQueryIndexV2::verify_against`]) while keeping per-query
+/// cost near-flat as the region count grows.
+#[derive(Debug, Clone)]
+pub struct CompiledQueryIndexV2 {
+    /// Number of blocks `N`; queries must carry exactly `N` pairs.
+    blocks: usize,
+    /// Bitset width in 64-bit words: `ceil(id_capacity / 64)`.
+    words: usize,
+    /// Total number of compiled segments (centers + bucket entries).
+    segments: usize,
+    /// Row `r` (block `r / 2`, width axis when even) owns pivot tree
+    /// nodes `piv_offsets[r]..piv_offsets[r + 1]` in Eytzinger order.
+    /// Its `pivots + 1` buckets start at global index
+    /// `piv_offsets[r] + r` (each row owns one more bucket than pivots).
+    piv_offsets: Vec<u32>,
+    /// Per pivot node: the pivot value.
+    piv: Vec<Coord>,
+    /// Per pivot node: center segment lower bound (unset if no center).
+    center_lo: Vec<Coord>,
+    /// Per pivot node: center segment upper bound (closed).
+    center_hi: Vec<Coord>,
+    /// Per pivot node: interned bitset id of the center's candidates, or
+    /// [`NO_CENTER`].
+    center_set: Vec<u32>,
+    /// Bucket `g` owns entries `bucket_offsets[g]..bucket_offsets[g+1]`,
+    /// sorted ascending by lower bound.
+    bucket_offsets: Vec<u32>,
+    /// Per bucket entry: segment lower bound.
+    ent_lo: Vec<Coord>,
+    /// Per bucket entry: segment upper bound (closed).
+    ent_hi: Vec<Coord>,
+    /// Per bucket entry: interned bitset id of the candidates.
+    ent_set: Vec<u32>,
+    /// Interned bitset pool: set `s` occupies
+    /// `bits[s * words..(s + 1) * words]`. Rows with identical candidate
+    /// sets share one entry.
+    bits: Vec<u64>,
+    /// Set `s` has nonzero words at indices
+    /// `nz[nz_offsets[s]..nz_offsets[s + 1]]`.
+    nz_offsets: Vec<u32>,
+    /// Nonzero word indices, concatenated per set.
+    nz: Vec<u32>,
+}
+
+/// Interns candidate-id lists as fixed-width bitsets plus their nonzero
+/// word lists, deduplicating structurally equal sets.
+struct SetPool {
+    words: usize,
+    bits: Vec<u64>,
+    nz_offsets: Vec<u32>,
+    nz: Vec<u32>,
+    interned: HashMap<Vec<u64>, u32>,
+}
+
+impl SetPool {
+    fn new(words: usize) -> Self {
+        Self {
+            words,
+            bits: Vec::new(),
+            nz_offsets: vec![0],
+            nz: Vec::new(),
+            interned: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, ids: &[u32]) -> u32 {
+        let mut set = vec![0u64; self.words];
+        for &id in ids {
+            set[id as usize >> 6] |= 1u64 << (id & 63);
+        }
+        if let Some(&s) = self.interned.get(&set) {
+            return s;
+        }
+        let s = u32::try_from(self.interned.len()).expect("set count fits u32");
+        for (w, &word) in set.iter().enumerate() {
+            if word != 0 {
+                self.nz.push(u32::try_from(w).expect("word index fits u32"));
+            }
+        }
+        self.nz_offsets
+            .push(u32::try_from(self.nz.len()).expect("nz count fits u32"));
+        self.bits.extend_from_slice(&set);
+        self.interned.insert(set, s);
+        s
+    }
+}
+
+impl CompiledQueryIndexV2 {
+    /// Compiles the structure's interval rows into the
+    /// pivot/bucket/center layout. Pure read, like the v1 build.
+    #[must_use]
+    pub fn build(mps: &MultiPlacementStructure) -> Self {
+        let blocks = mps.block_count();
+        let mut id_capacity = 0usize;
+        for b in 0..blocks {
+            for row in [mps.w_row(b), mps.h_row(b)] {
+                for (_, ids) in row.as_segments() {
+                    if let Some(&max) = ids.last() {
+                        id_capacity = id_capacity.max(max as usize + 1);
+                    }
+                }
+            }
+        }
+        let words = id_capacity.div_ceil(64);
+        let mut pool = SetPool::new(words);
+        let mut out = Self {
+            blocks,
+            words,
+            segments: 0,
+            piv_offsets: vec![0],
+            piv: Vec::new(),
+            center_lo: Vec::new(),
+            center_hi: Vec::new(),
+            center_set: Vec::new(),
+            bucket_offsets: vec![0],
+            ent_lo: Vec::new(),
+            ent_hi: Vec::new(),
+            ent_set: Vec::new(),
+            bits: Vec::new(),
+            nz_offsets: Vec::new(),
+            nz: Vec::new(),
+        };
+        for b in 0..blocks {
+            for row in [mps.w_row(b), mps.h_row(b)] {
+                let segs: Vec<(Interval, u32)> = row
+                    .as_segments()
+                    .iter()
+                    .map(|(iv, ids)| (*iv, pool.intern(ids)))
+                    .collect();
+                out.segments += segs.len();
+                out.push_row(&segs);
+            }
+        }
+        out.bits = pool.bits;
+        out.nz_offsets = pool.nz_offsets;
+        out.nz = pool.nz;
+        out
+    }
+
+    /// Partitions one row's sorted disjoint segments into the implicit
+    /// pivot tree (with center entries) and its leaf buckets.
+    fn push_row(&mut self, segs: &[(Interval, u32)]) {
+        let intervals: Vec<Interval> = segs.iter().map(|&(iv, _)| iv).collect();
+        let sorted_pivots = quantile_pivots(&intervals, BUCKET_TARGET);
+        let order = eytzinger_order(sorted_pivots.len());
+        let pcount = sorted_pivots.len();
+        let pbase = self.piv.len();
+        self.piv
+            .extend(order.iter().map(|&rank| sorted_pivots[rank as usize]));
+        self.center_lo.resize(pbase + pcount, 0);
+        self.center_hi.resize(pbase + pcount, 0);
+        self.center_set.resize(pbase + pcount, NO_CENTER);
+        // Eyros assignment rule: a segment straddling pivots becomes the
+        // center of the *first* such pivot in tree (breadth-first)
+        // order. That node is the shallowest tree node whose pivot the
+        // segment contains, which every query value inside the segment
+        // is guaranteed to pass on its descent.
+        let mut taken = vec![false; segs.len()];
+        for node in 0..pcount {
+            let p = self.piv[pbase + node];
+            let k = intervals.partition_point(|iv| iv.lo() <= p);
+            if k == 0 {
+                continue;
+            }
+            let (iv, set) = segs[k - 1];
+            if iv.contains(p) && !taken[k - 1] {
+                taken[k - 1] = true;
+                self.center_lo[pbase + node] = iv.lo();
+                self.center_hi[pbase + node] = iv.hi();
+                self.center_set[pbase + node] = set;
+            }
+        }
+        // Everything else lands in the bucket between its enclosing
+        // pivots; input order keeps each bucket sorted by lower bound.
+        let mut buckets: Vec<Vec<(Interval, u32)>> = vec![Vec::new(); pcount + 1];
+        for (i, &(iv, set)) in segs.iter().enumerate() {
+            if taken[i] {
+                continue;
+            }
+            let k = sorted_pivots.partition_point(|&p| p < iv.lo());
+            debug_assert!(
+                k == sorted_pivots.len() || sorted_pivots[k] > iv.hi(),
+                "bucket segment must not straddle a pivot"
+            );
+            buckets[k].push((iv, set));
+        }
+        for bucket in buckets {
+            for (iv, set) in bucket {
+                self.ent_lo.push(iv.lo());
+                self.ent_hi.push(iv.hi());
+                self.ent_set.push(set);
+            }
+            self.bucket_offsets
+                .push(u32::try_from(self.ent_lo.len()).expect("entry count fits u32"));
+        }
+        self.piv_offsets
+            .push(u32::try_from(self.piv.len()).expect("pivot count fits u32"));
+    }
+
+    /// Number of blocks `N` the index was compiled for.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks
+    }
+
+    /// Total number of compiled segments across all `2N` rows (centers
+    /// plus bucket entries — the same count v1 reports for the same
+    /// structure).
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments
+    }
+
+    /// Bitset width in 64-bit words (0 for an empty structure).
+    #[must_use]
+    pub fn bitset_words(&self) -> usize {
+        self.words
+    }
+
+    /// Approximate heap footprint of the compiled arrays, in bytes.
+    /// Interning typically makes this smaller than v1's dense layout
+    /// even with the extra pivot/center arrays.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        (self.piv_offsets.len()
+            + self.center_set.len()
+            + self.bucket_offsets.len()
+            + self.ent_set.len()
+            + self.nz_offsets.len()
+            + self.nz.len())
+            * size_of::<u32>()
+            + (self.piv.len()
+                + self.center_lo.len()
+                + self.center_hi.len()
+                + self.ent_lo.len()
+                + self.ent_hi.len())
+                * size_of::<Coord>()
+            + self.bits.len() * size_of::<u64>()
+    }
+
+    /// The interned bitset id of row `r`'s segment containing `v`, if
+    /// any: descend the pivot tree checking centers, then scan one leaf
+    /// bucket.
+    #[inline]
+    fn locate(&self, r: usize, v: Coord) -> Option<u32> {
+        let pbase = self.piv_offsets[r] as usize;
+        let pcount = self.piv_offsets[r + 1] as usize - pbase;
+        let mut node = 0usize;
+        while node < pcount {
+            let i = pbase + node;
+            let set = self.center_set[i];
+            if set != NO_CENTER && self.center_lo[i] <= v && v <= self.center_hi[i] {
+                return Some(set);
+            }
+            match v.cmp(&self.piv[i]) {
+                std::cmp::Ordering::Less => node = 2 * node + 1,
+                std::cmp::Ordering::Greater => node = 2 * node + 2,
+                // v sits exactly on the pivot: its segment (if any)
+                // would straddle this pivot, so it lives in a center on
+                // the descent path — all already checked.
+                std::cmp::Ordering::Equal => return None,
+            }
+        }
+        // Fell off the tree: leaf gap `node - pcount` is the bucket, and
+        // row r's buckets start at global index pbase + r.
+        let g = pbase + r + (node - pcount);
+        let lo = self.bucket_offsets[g] as usize;
+        let hi = self.bucket_offsets[g + 1] as usize;
+        for e in lo..hi {
+            if self.ent_lo[e] > v {
+                break;
+            }
+            if self.ent_hi[e] >= v {
+                return Some(self.ent_set[e]);
+            }
+        }
+        None
+    }
+
+    /// The v2 equivalent of [`MultiPlacementStructure::query`]: pivot
+    /// descent per row, sparse live-word `AND` per refinement, zero heap
+    /// allocation (candidate state lives in `scratch`).
+    ///
+    /// Returns `None` for wrong-arity vectors, out-of-bounds values and
+    /// uncovered space — exactly like the interpretive path.
+    #[must_use]
+    pub fn query_with_scratch(
+        &self,
+        dims: &Dims,
+        scratch: &mut QueryScratch,
+    ) -> Option<PlacementId> {
+        self.query_slice(dims, scratch)
+    }
+
+    /// The raw-slice walk shared by every entry point. Maintains the
+    /// scratch invariant that the v2 accumulator is all-zero on exit.
+    fn query_slice(
+        &self,
+        dims: &[(Coord, Coord)],
+        scratch: &mut QueryScratch,
+    ) -> Option<PlacementId> {
+        if dims.len() != self.blocks || self.words == 0 {
+            return None;
+        }
+        if scratch.v2_acc.len() != self.words {
+            // Sized for a different structure: discard and re-zero.
+            scratch.v2_acc.clear();
+            scratch.v2_acc.resize(self.words, 0);
+        }
+        let acc = &mut scratch.v2_acc;
+        let live = &mut scratch.v2_live;
+        live.clear();
+        for (r, v) in dims
+            .iter()
+            .flat_map(|&(w, h)| [w, h])
+            .enumerate()
+            .take(2 * self.blocks)
+        {
+            let Some(set) = self.locate(r, v) else {
+                // Restore the all-zero invariant before bailing.
+                for &i in live.iter() {
+                    acc[i as usize] = 0;
+                }
+                return None;
+            };
+            let base = set as usize * self.words;
+            if r == 0 {
+                // Seed: copy only the nonzero words of the first row's
+                // set; everything else is already zero.
+                let s = self.nz_offsets[set as usize] as usize;
+                let e = self.nz_offsets[set as usize + 1] as usize;
+                for &i in &self.nz[s..e] {
+                    acc[i as usize] = self.bits[base + i as usize];
+                    live.push(i);
+                }
+            } else {
+                // Refine: AND only the words that can still hold a
+                // candidate, dropping the ones that go dark.
+                live.retain(|&iu| {
+                    let i = iu as usize;
+                    let w = acc[i] & self.bits[base + i];
+                    acc[i] = w;
+                    w != 0
+                });
+            }
+            if live.is_empty() {
+                // Every touched word was just zeroed by the AND.
+                return None;
+            }
+        }
+        // Extract the single surviving bit, zeroing every touched word
+        // on the way out so the accumulator invariant holds.
+        let mut hit: Option<u32> = None;
+        for &i in live.iter() {
+            let word = acc[i as usize];
+            acc[i as usize] = 0;
+            debug_assert!(
+                hit.is_none() && word.count_ones() == 1,
+                "Eq. 5 violated: more than one candidate survived the v2 intersection"
+            );
+            if hit.is_none() {
+                hit = Some(
+                    u32::try_from(i as usize * 64).expect("id fits u32") + word.trailing_zeros(),
+                );
+            }
+        }
+        hit.map(PlacementId)
+    }
+
+    /// [`Self::query_with_scratch`] with a throwaway scratch buffer (one
+    /// heap allocation per call). Query loops should hold a
+    /// [`QueryScratch`] or use [`Self::query_batch`] instead.
+    #[must_use]
+    pub fn query(&self, dims: &Dims) -> Option<PlacementId> {
+        self.query_slice(dims, &mut QueryScratch::new())
+    }
+
+    /// Answers a stream of dimension vectors through one scratch buffer:
+    /// element `k` of the result equals `self.query(&queries[k])`.
+    #[must_use]
+    pub fn query_batch(&self, queries: &[Dims]) -> Vec<Option<PlacementId>> {
+        let mut scratch = QueryScratch::new();
+        queries
+            .iter()
+            .map(|dims| self.query_slice(dims, &mut scratch))
+            .collect()
+    }
+
+    /// Differential check against the interpretive path — the same probe
+    /// battery as [`CompiledQueryIndex::verify_against`], so the two
+    /// plans are held to the identical bit-identity bar.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first diverging probe.
+    pub fn verify_against(
+        &self,
+        mps: &MultiPlacementStructure,
+        probes: usize,
+        seed: u64,
+    ) -> Result<(), String> {
+        let mut scratch = QueryScratch::new();
+        differential_probes(mps, self.blocks, probes, seed, |probe| {
+            self.query_slice(probe, &mut scratch)
+        })
+    }
+}
+
+/// Which compiled layout a structure's query index uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexPlan {
+    /// Flat sorted arrays + full-width bitset `AND` per row.
+    V1,
+    /// Eyros-style pivot/bucket/center rows + sparse live-word `AND`.
+    V2,
+}
+
+impl IndexPlan {
+    /// Segment count at which the build switches to the v2 layout.
+    /// Below it the v1 plan's simple binary search is already
+    /// cache-resident and the pivot tree buys nothing.
+    pub const V2_MIN_SEGMENTS: usize = 32;
+
+    /// The wire/stats name of the plan (`"v1"` / `"v2"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IndexPlan::V1 => "v1",
+            IndexPlan::V2 => "v2",
+        }
+    }
+
+    /// The plan [`CompiledIndex::build_auto`] picks for a structure:
+    /// v2 once the row population crosses
+    /// [`IndexPlan::V2_MIN_SEGMENTS`], v1 for tiny structures.
+    #[must_use]
+    pub fn choose(mps: &MultiPlacementStructure) -> Self {
+        let mut segments = 0usize;
+        for b in 0..mps.block_count() {
+            segments += mps.w_row(b).as_segments().len() + mps.h_row(b).as_segments().len();
+            if segments >= Self::V2_MIN_SEGMENTS {
+                return IndexPlan::V2;
+            }
+        }
+        IndexPlan::V1
+    }
+}
+
+impl std::fmt::Display for IndexPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A compiled query index of either plan, behind one dispatching
+/// surface — what [`crate::ServedStructure`] holds and the serving stack
+/// queries.
+#[derive(Debug, Clone)]
+pub enum CompiledIndex {
+    /// The v1 flat-array plan.
+    V1(CompiledQueryIndex),
+    /// The v2 pivot/bucket/center plan.
+    V2(CompiledQueryIndexV2),
+}
+
+impl CompiledIndex {
+    /// Compiles the structure with the plan
+    /// [`IndexPlan::choose`] picks for its size.
+    #[must_use]
+    pub fn build_auto(mps: &MultiPlacementStructure) -> Self {
+        Self::build(mps, IndexPlan::choose(mps))
+    }
+
+    /// Compiles the structure with an explicit plan.
+    #[must_use]
+    pub fn build(mps: &MultiPlacementStructure, plan: IndexPlan) -> Self {
+        match plan {
+            IndexPlan::V1 => CompiledIndex::V1(CompiledQueryIndex::build(mps)),
+            IndexPlan::V2 => CompiledIndex::V2(CompiledQueryIndexV2::build(mps)),
+        }
+    }
+
+    /// Which plan this index compiled to.
+    #[must_use]
+    pub fn plan(&self) -> IndexPlan {
+        match self {
+            CompiledIndex::V1(_) => IndexPlan::V1,
+            CompiledIndex::V2(_) => IndexPlan::V2,
+        }
+    }
+
+    /// Number of blocks `N` the index was compiled for.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        match self {
+            CompiledIndex::V1(i) => i.block_count(),
+            CompiledIndex::V2(i) => i.block_count(),
+        }
+    }
+
+    /// Total number of compiled segments across all `2N` rows.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        match self {
+            CompiledIndex::V1(i) => i.segment_count(),
+            CompiledIndex::V2(i) => i.segment_count(),
+        }
+    }
+
+    /// Bitset width in 64-bit words (0 for an empty structure).
+    #[must_use]
+    pub fn bitset_words(&self) -> usize {
+        match self {
+            CompiledIndex::V1(i) => i.bitset_words(),
+            CompiledIndex::V2(i) => i.bitset_words(),
+        }
+    }
+
+    /// Approximate heap footprint of the compiled arrays, in bytes.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            CompiledIndex::V1(i) => i.heap_bytes(),
+            CompiledIndex::V2(i) => i.heap_bytes(),
+        }
+    }
+
+    /// Single query with a throwaway scratch buffer.
+    #[must_use]
+    pub fn query(&self, dims: &Dims) -> Option<PlacementId> {
+        match self {
+            CompiledIndex::V1(i) => i.query(dims),
+            CompiledIndex::V2(i) => i.query(dims),
+        }
+    }
+
+    /// Single query through a caller-held scratch buffer (the
+    /// allocation-free hot path).
+    #[must_use]
+    pub fn query_with_scratch(
+        &self,
+        dims: &Dims,
+        scratch: &mut QueryScratch,
+    ) -> Option<PlacementId> {
+        match self {
+            CompiledIndex::V1(i) => i.query_with_scratch(dims, scratch),
+            CompiledIndex::V2(i) => i.query_with_scratch(dims, scratch),
+        }
+    }
+
+    /// Answers a stream of dimension vectors through one scratch buffer.
+    #[must_use]
+    pub fn query_batch(&self, queries: &[Dims]) -> Vec<Option<PlacementId>> {
+        match self {
+            CompiledIndex::V1(i) => i.query_batch(queries),
+            CompiledIndex::V2(i) => i.query_batch(queries),
+        }
+    }
+
+    /// Differential bit-identity check against the interpretive path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first diverging probe.
+    pub fn verify_against(
+        &self,
+        mps: &MultiPlacementStructure,
+        probes: usize,
+        seed: u64,
+    ) -> Result<(), String> {
+        match self {
+            CompiledIndex::V1(i) => i.verify_against(mps, probes, seed),
+            CompiledIndex::V2(i) => i.verify_against(mps, probes, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_core::StoredPlacement;
+    use mps_geom::{BlockRanges, DimsBox, Interval, Point, Rect};
+    use mps_netlist::{Block, Circuit};
+    use mps_placer::Placement;
+
+    fn two_entry_structure() -> MultiPlacementStructure {
+        let c = Circuit::builder("s")
+            .block(Block::new("A", 10, 100, 10, 100))
+            .block(Block::new("B", 10, 100, 10, 100))
+            .net_connecting("n", &[0, 1])
+            .build()
+            .unwrap();
+        let mut mps = MultiPlacementStructure::new(&c, Rect::from_xywh(0, 0, 400, 400));
+        let entry =
+            |coords: &[(Coord, Coord)], ranges: &[(Coord, Coord, Coord, Coord)]| StoredPlacement {
+                placement: Placement::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()),
+                dims_box: DimsBox::new(
+                    ranges
+                        .iter()
+                        .map(|&(wl, wh, hl, hh)| {
+                            BlockRanges::new(Interval::new(wl, wh), Interval::new(hl, hh))
+                        })
+                        .collect(),
+                ),
+                avg_cost: 1.0,
+                best_cost: 1.0,
+                best_dims: ranges.iter().map(|&(wl, _, hl, _)| (wl, hl)).collect(),
+            };
+        mps.insert_unchecked(entry(
+            &[(0, 0), (60, 0)],
+            &[(10, 50, 10, 50), (10, 50, 10, 50)],
+        ));
+        mps.insert_unchecked(entry(
+            &[(0, 0), (0, 120)],
+            &[(51, 100, 10, 100), (10, 100, 10, 100)],
+        ));
+        mps
+    }
+
+    #[test]
+    fn v2_matches_handmade_structure() {
+        let mps = two_entry_structure();
+        let index = CompiledQueryIndexV2::build(&mps);
+        assert_eq!(index.block_count(), 2);
+        assert_eq!(index.bitset_words(), 1);
+        assert!(index.segment_count() > 0);
+        assert!(index.heap_bytes() > 0);
+        index.verify_against(&mps, 2_000, 7).unwrap();
+    }
+
+    #[test]
+    fn v2_segment_count_matches_v1() {
+        let mps = two_entry_structure();
+        let v1 = CompiledQueryIndex::build(&mps);
+        let v2 = CompiledQueryIndexV2::build(&mps);
+        assert_eq!(v1.segment_count(), v2.segment_count());
+        assert_eq!(v1.bitset_words(), v2.bitset_words());
+    }
+
+    #[test]
+    fn empty_structure_compiles_and_answers_nothing() {
+        let c = Circuit::builder("e")
+            .block(Block::new("A", 10, 100, 10, 100))
+            .block(Block::new("B", 10, 100, 10, 100))
+            .net_connecting("n", &[0, 1])
+            .build()
+            .unwrap();
+        let mps = MultiPlacementStructure::new(&c, Rect::from_xywh(0, 0, 400, 400));
+        let index = CompiledQueryIndexV2::build(&mps);
+        assert_eq!(index.bitset_words(), 0);
+        assert_eq!(index.query(&mps_geom::dims![(20, 20), (20, 20)]), None);
+        index.verify_against(&mps, 500, 1).unwrap();
+    }
+
+    #[test]
+    fn one_scratch_serves_both_plans_interleaved() {
+        // The dense v1 state must never contaminate the sparse v2
+        // accumulator (and vice versa) when a connection alternates
+        // between structures compiled to different plans.
+        let mps = two_entry_structure();
+        let v1 = CompiledQueryIndex::build(&mps);
+        let v2 = CompiledQueryIndexV2::build(&mps);
+        let mut scratch = QueryScratch::new();
+        let probes = [
+            mps_geom::dims![(20, 20), (20, 20)],
+            mps_geom::dims![(80, 50), (50, 50)],
+            mps_geom::dims![(50, 80), (20, 20)],
+            mps_geom::dims![(500, 20), (20, 20)],
+        ];
+        for _ in 0..4 {
+            for dims in &probes {
+                let a = v1.query_with_scratch(dims, &mut scratch);
+                let b = v2.query_with_scratch(dims, &mut scratch);
+                assert_eq!(a, b, "plans diverged at {dims:?}");
+                assert_eq!(a, mps.query(dims));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let mps = two_entry_structure();
+        let index = CompiledQueryIndexV2::build(&mps);
+        let queries = vec![
+            mps_geom::dims![(20, 20), (20, 20)],
+            mps_geom::dims![(80, 50), (50, 50)],
+            mps_geom::dims![(50, 80), (20, 20)],
+        ];
+        assert_eq!(index.query_batch(&queries), mps.query_batch(&queries));
+    }
+
+    #[test]
+    fn plan_chooser_scales_with_segment_population() {
+        let mps = two_entry_structure();
+        assert_eq!(IndexPlan::choose(&mps), IndexPlan::V1);
+        let auto = CompiledIndex::build_auto(&mps);
+        assert_eq!(auto.plan(), IndexPlan::V1);
+        assert_eq!(
+            auto.segment_count(),
+            CompiledQueryIndex::build(&mps).segment_count()
+        );
+        assert_eq!(IndexPlan::V1.as_str(), "v1");
+        assert_eq!(IndexPlan::V2.to_string(), "v2");
+    }
+
+    #[test]
+    fn verify_against_detects_block_count_mismatch() {
+        let mps = two_entry_structure();
+        let c1 = Circuit::builder("one")
+            .block(Block::new("A", 10, 100, 10, 100))
+            .build()
+            .unwrap();
+        let other = MultiPlacementStructure::new(&c1, Rect::from_xywh(0, 0, 100, 100));
+        let index = CompiledQueryIndexV2::build(&mps);
+        assert!(index.verify_against(&other, 10, 1).is_err());
+    }
+}

@@ -16,7 +16,7 @@
 //!   the published `Arc` — in-flight queries keep their old snapshot
 //!   alive until they finish (no torn state, no serving pause).
 
-use crate::compiled::CompiledQueryIndex;
+use crate::compiled_v2::CompiledIndex;
 use mps_core::{MultiPlacementStructure, PersistError};
 use std::collections::HashMap;
 use std::fmt;
@@ -24,8 +24,20 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-/// Probes [`CompiledQueryIndex::verify_against`] runs per artifact load.
-const LOAD_CHECK_PROBES: usize = 128;
+/// Probes `verify_against` runs per artifact load, scaled to the
+/// structure's compiled segment population.
+///
+/// A fixed budget serves both extremes badly: a directory of thousands
+/// of small artifacts pays 128 probes each on cold start for structures
+/// a couple dozen probes would cover, while a 10x-scale structure gets
+/// the same 128 probes spread over vastly more segments and is
+/// effectively under-verified. One probe per 16 segments keeps coverage
+/// roughly proportional to what there is to check, clamped so tiny
+/// artifacts still get a meaningful battery and huge ones cannot stall
+/// a reload.
+pub(crate) fn load_probe_budget(segments: usize) -> usize {
+    (segments / 16).clamp(32, 1024)
+}
 
 /// Why the registry could not load or reload artifacts.
 #[derive(Debug)]
@@ -105,7 +117,7 @@ pub struct ServedStructure {
     name: String,
     path: Option<PathBuf>,
     structure: MultiPlacementStructure,
-    index: CompiledQueryIndex,
+    index: CompiledIndex,
 }
 
 impl ServedStructure {
@@ -160,9 +172,17 @@ impl ServedStructure {
         structure: MultiPlacementStructure,
     ) -> Result<Self, ServeError> {
         let name = name.into();
-        let index = CompiledQueryIndex::build(&structure);
+        // The plan (v1 for tiny structures, v2 past the segment
+        // threshold) is picked here, at build time; whichever plan is
+        // chosen must pass the same bit-identity battery before the
+        // structure is ever served.
+        let index = CompiledIndex::build_auto(&structure);
         index
-            .verify_against(&structure, LOAD_CHECK_PROBES, 0x5EED_C0DE)
+            .verify_against(
+                &structure,
+                load_probe_budget(index.segment_count()),
+                0x5EED_C0DE,
+            )
             .map_err(|detail| ServeError::Equivalence {
                 path: PathBuf::from(format!("<in-memory:{name}>")),
                 detail,
@@ -207,9 +227,11 @@ impl ServedStructure {
         &self.structure
     }
 
-    /// The compiled query plan (the serving hot path).
+    /// The compiled query plan (the serving hot path). Which layout it
+    /// uses is reported by [`CompiledIndex::plan`] and surfaced through
+    /// `stats`/`metrics`.
     #[must_use]
-    pub fn index(&self) -> &CompiledQueryIndex {
+    pub fn index(&self) -> &CompiledIndex {
         &self.index
     }
 }
@@ -707,6 +729,48 @@ mod tests {
             registry.get("alpha").unwrap().structure().to_json(),
             replacement.to_json(),
             "the reload's structure must keep serving"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_budget_scales_with_segment_population() {
+        // Scale-aware verification: small artifacts get the floor (fast
+        // cold starts over directories of thousands), big structures get
+        // proportionally more probes, and a pathological giant cannot
+        // stall a reload past the cap.
+        assert_eq!(load_probe_budget(0), 32);
+        assert_eq!(load_probe_budget(500), 32);
+        assert_eq!(load_probe_budget(4_096), 256);
+        assert_eq!(load_probe_budget(1 << 20), 1024);
+        let budgets: Vec<usize> = (0..200_000)
+            .step_by(10_000)
+            .map(load_probe_budget)
+            .collect();
+        assert!(budgets.windows(2).all(|w| w[0] <= w[1]), "must be monotone");
+    }
+
+    #[test]
+    fn cold_start_over_many_artifacts_stays_fast() {
+        // Regression guard for the load wall-clock: a directory of many
+        // small artifacts must open in bounded time — the per-load probe
+        // battery is the dominant cost and must not regress back to a
+        // fixed oversized budget. The bound is generous (debug builds,
+        // loaded CI runners) but catches order-of-magnitude regressions.
+        let dir = temp_dir("coldstart");
+        let structure = tiny_structure(31);
+        for i in 0..24 {
+            structure
+                .save_json(dir.join(format!("s{i:02}.mps.json")))
+                .unwrap();
+        }
+        let t = std::time::Instant::now();
+        let registry = StructureRegistry::open(&dir).unwrap();
+        let elapsed = t.elapsed();
+        assert_eq!(registry.len(), 24);
+        assert!(
+            elapsed < std::time::Duration::from_secs(20),
+            "cold start over 24 artifacts took {elapsed:?}"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

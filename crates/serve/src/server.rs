@@ -1341,6 +1341,10 @@ impl Server {
                     per_structure.get(name).copied().unwrap_or(0).to_value(),
                 );
                 s.insert(
+                    "index_plan",
+                    Value::String(served.index().plan().as_str().to_owned()),
+                );
+                s.insert(
                     "compiled_segments",
                     served.index().segment_count().to_value(),
                 );
@@ -1463,9 +1467,24 @@ impl Server {
         let mut map = ok_header("metrics");
         map.insert("enabled", Value::Bool(self.telemetry.enabled()));
         map.insert("uptime_ms", self.uptime_ms().to_value());
+        let snapshot = self.registry.snapshot();
         let mut registry = Map::new();
         registry.insert("structures", self.registry.len().to_value());
         registry.insert("generation", self.registry.generation().to_value());
+        // Which compiled layout each structure runs on: the per-plan
+        // tally here, the per-structure `index_plan` below — so a scrape
+        // can tell at a glance whether the fleet compiled to v2.
+        let mut plans = Map::new();
+        for plan in [crate::IndexPlan::V1, crate::IndexPlan::V2] {
+            let count = snapshot
+                .values()
+                .filter(|served| served.index().plan() == plan)
+                .count();
+            if count > 0 {
+                plans.insert(plan.as_str(), count.to_value());
+            }
+        }
+        registry.insert("plans", Value::Object(plans));
         map.insert("registry", Value::Object(registry));
         map.insert("workers", self.pool.workers().to_value());
         map.insert("shards", self.config.effective_shards().to_value());
@@ -1511,6 +1530,12 @@ impl Server {
                 "queries",
                 tallies.get(&name).copied().unwrap_or(0).to_value(),
             );
+            if let Some(served) = snapshot.get(&name) {
+                entry.insert(
+                    "index_plan",
+                    Value::String(served.index().plan().as_str().to_owned()),
+                );
+            }
             let mut heat_map = Map::new();
             heat_map.insert("total", heat.total.to_value());
             heat_map.insert("bins", crate::telemetry::HEAT_BINS.to_value());

@@ -10,7 +10,7 @@
 
 use analog_mps::mps::{GeneratorConfig, MpsGenerator};
 use analog_mps::netlist::benchmarks;
-use analog_mps::serve::{CompiledQueryIndex, QueryScratch, Server, StructureRegistry};
+use analog_mps::serve::{CompiledIndex, QueryScratch, Server, StructureRegistry};
 use std::sync::Arc;
 use std::time::Instant;
 #[path = "shared/effort.rs"]
@@ -43,7 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 3. The compiled query plan: identical answers, faster --------
     let served = registry.get("circ02").expect("just loaded");
-    let index: &CompiledQueryIndex = served.index();
+    let index: &CompiledIndex = served.index();
+    println!(
+        "compiled plan: {} ({} segments, {} bitset words)",
+        index.plan(),
+        index.segment_count(),
+        index.bitset_words()
+    );
     let queries: Vec<analog_mps::Dims> = {
         use analog_mps::geom::Coord;
         let bounds = circuit.dim_bounds();
